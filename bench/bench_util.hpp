@@ -1,0 +1,65 @@
+/**
+ * @file bench_util.hpp
+ * Shared helpers for the figure-reproduction harnesses: experiment
+ * shorthands, normalized-series printing, and paper-vs-measured
+ * annotations. Every binary in bench/ regenerates one table or figure
+ * of the paper and prints the same rows/series the paper reports.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace vibe::bench {
+
+/** Workload shorthand: (mesh, block, levels) with a cycle budget. */
+inline ExperimentSpec
+workload(int mesh, int block, int levels, int ncycles)
+{
+    ExperimentSpec spec;
+    spec.meshSize = mesh;
+    spec.blockSize = block;
+    spec.amrLevels = levels;
+    spec.ncycles = ncycles;
+    spec.numeric = false;
+    return spec;
+}
+
+/** Run one spec under one platform. */
+inline ExperimentResult
+run(ExperimentSpec spec, const PlatformConfig& platform)
+{
+    spec.platform = platform;
+    return Experiment(spec).run();
+}
+
+/** "1.23e+07" or "OOM" for a FOM cell. */
+inline std::string
+fomCell(const ExperimentResult& result)
+{
+    return result.oom() ? "OOM" : formatSci(result.fom(), 2);
+}
+
+/** Banner printed at the top of every bench binary. */
+inline void
+banner(const std::string& id, const std::string& what)
+{
+    std::cout << "\n################################################\n"
+              << "# " << id << ": " << what << "\n"
+              << "# (modeled H100/Sapphire-Rapids platforms; see\n"
+              << "#  DESIGN.md for the substitution methodology)\n"
+              << "################################################\n\n";
+}
+
+/** Paper-vs-measured footnote helper. */
+inline void
+expect(Table& table, const std::string& note)
+{
+    table.addNote("paper: " + note);
+}
+
+} // namespace vibe::bench

@@ -1,0 +1,52 @@
+/**
+ * @file fig01_motivation.cpp
+ * Reproduces Fig. 1: the effect of MeshBlockSize (32 vs 16) on
+ * (a) processed cells, (b) end-to-end time of an H100 GPU vs the
+ * 96-core Sapphire Rapids CPU, and (c) end-to-end GPU SM utilization.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 1", "MeshBlockSize motivation (mesh 128^3, 3 levels)");
+
+    const int cycles = 6;
+    auto b32 = workload(128, 32, 3, cycles);
+    auto b16 = workload(128, 16, 3, cycles);
+
+    const auto cpu32 = run(b32, PlatformConfig::cpu(96));
+    const auto cpu16 = run(b16, PlatformConfig::cpu(96));
+    const auto gpu32 = run(b32, PlatformConfig::gpu(1, 1));
+    const auto gpu16 = run(b16, PlatformConfig::gpu(1, 1));
+
+    Table a("Fig 1(a): processed cells, normalized to B32");
+    a.setHeader({"MeshBlockSize", "#processed cells", "norm. to B32"});
+    a.addRow({"32", std::to_string(gpu32.zoneCycles), "1.00"});
+    a.addRow({"16", std::to_string(gpu16.zoneCycles),
+              formatFixed(static_cast<double>(gpu16.zoneCycles) /
+                              gpu32.zoneCycles,
+                          2)});
+    expect(a, "B16 processes ~1/2.9 of the B32 cells");
+    a.print(std::cout);
+
+    Table b("\nFig 1(b): E2E time normalized to CPU @ B32");
+    b.setHeader({"MeshBlockSize", "CPU 96R", "GPU 1R"});
+    const double norm = cpu32.report.totalTime;
+    b.addRow({"32", formatFixed(cpu32.report.totalTime / norm, 2),
+              formatFixed(gpu32.report.totalTime / norm, 2)});
+    b.addRow({"16", formatFixed(cpu16.report.totalTime / norm, 2),
+              formatFixed(gpu16.report.totalTime / norm, 2)});
+    expect(b, "at B16 the GPU matches or lags the 96-core CPU");
+    b.print(std::cout);
+
+    Table c("\nFig 1(c): GPU end-to-end SM utilization");
+    c.setHeader({"MeshBlockSize", "E2E SM util"});
+    c.addRow({"32", formatPercent(gpu32.report.e2eSmUtil)});
+    c.addRow({"16", formatPercent(gpu16.report.e2eSmUtil)});
+    expect(c, "22.7% at B32 -> 4.1% at B16");
+    c.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file fig04_mesh_size.cpp
+ * Reproduces Fig. 4: FOM (zone-cycles/sec) versus mesh size under
+ * static scaling (MeshBlockSize 16, 3 AMR levels) for 1/4/8 GPUs with
+ * matched and best rank counts, and the 96-core CPU — including the
+ * OOM markers. Also prints the §IV-A growth factors (mesh 64 -> 128).
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 4", "FOM vs mesh size (B16, L3, static scaling)");
+
+    const std::vector<int> meshes = {64, 96, 128, 160, 192, 256};
+    const std::vector<int> rank_candidates = {1, 4, 8, 12};
+
+    Table table("FOM (zone-cycle/sec) vs mesh size");
+    table.setHeader({"mesh", "CPU 96R", "1 GPU 1R", "4 GPUs 4R",
+                     "8 GPUs 8R", "1 GPU BestR", "4 GPUs BestR",
+                     "8 GPUs BestR"});
+
+    ExperimentResult m64_gpu, m128_gpu;
+    for (int mesh : meshes) {
+        const int cycles = mesh >= 192 ? 4 : 6;
+        auto spec = workload(mesh, 16, 3, cycles);
+        const auto cpu = run(spec, PlatformConfig::cpu(96));
+        const auto g1 = run(spec, PlatformConfig::gpu(1, 1));
+        const auto g4 = run(spec, PlatformConfig::gpu(4, 4));
+        const auto g8 = run(spec, PlatformConfig::gpu(8, 8));
+        int r1 = 0, r4 = 0, r8 = 0;
+        const auto b1 = Experiment::bestRank(spec, 1, rank_candidates,
+                                             &r1);
+        const auto b4 = Experiment::bestRank(spec, 4, rank_candidates,
+                                             &r4);
+        const auto b8 = Experiment::bestRank(spec, 8, rank_candidates,
+                                             &r8);
+        table.addRow({std::to_string(mesh) + "^3", fomCell(cpu),
+                      fomCell(g1), fomCell(g4), fomCell(g8),
+                      fomCell(b1) + " (R" + std::to_string(r1) + ")",
+                      fomCell(b4) + " (R" + std::to_string(r4) + ")",
+                      fomCell(b8) + " (R" + std::to_string(r8) + ")"});
+        if (mesh == 64)
+            m64_gpu = g1;
+        if (mesh == 128)
+            m128_gpu = g1;
+    }
+    expect(table, "GPU FOM degrades with mesh size; single-GPU runs "
+                  "OOM at 192^3+; CPU peaks near 128^3");
+    table.print(std::cout);
+
+    // §IV-A growth factors, mesh 64 -> 128.
+    Table growth("\nSec IV-A growth factors (mesh 64 -> 128, GPU 1R)");
+    growth.setHeader({"quantity", "measured growth", "paper"});
+    auto ratio = [](double a, double b) { return b / a; };
+    growth.addRow(
+        {"communicated cells",
+         formatRatio(ratio(static_cast<double>(m64_gpu.commCells),
+                           static_cast<double>(m128_gpu.commCells))),
+         "5.9x"});
+    growth.addRow(
+        {"cell updates",
+         formatRatio(ratio(static_cast<double>(m64_gpu.cellUpdates),
+                           static_cast<double>(m128_gpu.cellUpdates))),
+         "4.5x"});
+    growth.addRow({"serial time",
+                   formatRatio(ratio(m64_gpu.report.serialTime,
+                                     m128_gpu.report.serialTime)),
+                   "5.4x"});
+    growth.addRow({"GPU kernel time",
+                   formatRatio(ratio(m64_gpu.report.kernelTime,
+                                     m128_gpu.report.kernelTime)),
+                   "2.8x"});
+    growth.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file fig06_amr_levels.cpp
+ * Reproduces Fig. 6: FOM versus #AMR Levels (mesh 128^3, block 16)
+ * plus the §IV-C anchors: execution-time growth and kernel-time
+ * fraction versus level on a 1 GPU - 1 Rank system, and the
+ * communicated-cell growth at MeshBlockSize 8.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 6", "FOM vs #AMR Levels (mesh 128^3, B16)");
+
+    const std::vector<int> rank_candidates = {1, 4, 8, 12};
+    Table table("FOM (zone-cycles/sec) vs #AMR Levels");
+    table.setHeader({"levels", "CPU 96R", "1 GPU 1R", "4 GPUs 4R",
+                     "8 GPUs 8R", "1 GPU BestR"});
+
+    std::vector<ExperimentResult> gpu1;
+    for (int levels = 1; levels <= 4; ++levels) {
+        auto spec = workload(128, 16, levels, 6);
+        const auto cpu = run(spec, PlatformConfig::cpu(96));
+        const auto g1 = run(spec, PlatformConfig::gpu(1, 1));
+        const auto g4 = run(spec, PlatformConfig::gpu(4, 4));
+        const auto g8 = run(spec, PlatformConfig::gpu(8, 8));
+        int r1 = 0;
+        const auto b1 =
+            Experiment::bestRank(spec, 1, rank_candidates, &r1);
+        table.addRow({std::to_string(levels), fomCell(cpu), fomCell(g1),
+                      fomCell(g4), fomCell(g8),
+                      fomCell(b1) + " (R" + std::to_string(r1) + ")"});
+        gpu1.push_back(g1);
+    }
+    expect(table, "CPU nearly flat with levels; GPU drops markedly");
+    table.print(std::cout);
+
+    Table anchors("\nSec IV-C anchors (GPU 1R, B16)");
+    anchors.setHeader({"levels", "exec time vs L1", "kernel fraction",
+                       "paper kernel fraction"});
+    const char* paper_frac[] = {"31.2%", "23.4%", "17.9%", "-"};
+    for (int l = 0; l < 4; ++l) {
+        anchors.addRow(
+            {std::to_string(l + 1),
+             formatRatio(gpu1[l].report.totalTime /
+                         gpu1[0].report.totalTime),
+             formatPercent(1.0 - gpu1[l].serialFraction()),
+             paper_frac[l]});
+    }
+    anchors.addNote("paper: exec time x2.1 at L2, x6.0 at L3");
+    anchors.print(std::cout);
+
+    // Communicated-cell growth at the smallest experimented block (B8).
+    Table comm("\nSec IV-C comm growth (mesh 128, B8)");
+    comm.setHeader(
+        {"levels", "comm cells vs L1", "cell updates vs L1", "paper"});
+    std::vector<ExperimentResult> b8;
+    for (int levels : {1, 2, 3})
+        b8.push_back(run(workload(128, 8, levels, 5),
+                         PlatformConfig::gpu(1, 1)));
+    const char* paper_comm[] = {"1.0x / 1.0x", "1.4x / 1.2x",
+                                "2.7x / 2.0x"};
+    for (int l = 0; l < 3; ++l) {
+        comm.addRow(
+            {std::to_string(l + 1),
+             formatRatio(static_cast<double>(b8[l].commCells) /
+                         static_cast<double>(b8[0].commCells)),
+             formatRatio(static_cast<double>(b8[l].cellUpdates) /
+                         static_cast<double>(b8[0].cellUpdates)),
+             paper_comm[l]});
+    }
+    comm.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file fig08_gpu_rank_scaling.cpp
+ * Reproduces Fig. 8: the effect of ranks-per-GPU on single-GPU FOM,
+ * normalized to the CPU 96-rank configuration, across five AMR
+ * configurations — including the OOM marker at 16 ranks for the
+ * smallest blocks.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 8", "GPU rank scaling, FOM normalized to CPU 96R");
+
+    struct Config
+    {
+        int mesh, block, levels, cycles;
+    };
+    const std::vector<Config> configs = {{128, 32, 3, 6},
+                                         {128, 16, 3, 6},
+                                         {128, 8, 3, 5},
+                                         {128, 8, 2, 5},
+                                         {128, 8, 1, 5}};
+    const std::vector<int> rank_counts = {1, 2, 4, 8, 12, 16};
+
+    Table table("FOM normalized to CPU 96R");
+    std::vector<std::string> header = {"mesh,block,levels", "CPU 96R"};
+    for (int r : rank_counts)
+        header.push_back("GPU " + std::to_string(r) + "R");
+    table.setHeader(header);
+
+    for (const auto& c : configs) {
+        auto spec = workload(c.mesh, c.block, c.levels, c.cycles);
+        const auto cpu = run(spec, PlatformConfig::cpu(96));
+        std::vector<std::string> row = {
+            std::to_string(c.mesh) + ", " + std::to_string(c.block) +
+                ", " + std::to_string(c.levels),
+            "1.00"};
+        for (int r : rank_counts) {
+            const auto gpu = run(spec, PlatformConfig::gpu(1, r));
+            row.push_back(gpu.oom() ? "OOM"
+                                    : formatFixed(
+                                          gpu.fom() / cpu.fom(), 2));
+        }
+        table.addRow(row);
+    }
+    expect(table, "best single-GPU performance near 12 ranks/GPU; "
+                  "beyond that collectives erode it; 16R OOMs at "
+                  "(128, 8, 3)");
+    table.print(std::cout);
+    return 0;
+}

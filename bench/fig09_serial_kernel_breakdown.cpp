@@ -1,0 +1,35 @@
+/**
+ * @file fig09_serial_kernel_breakdown.cpp
+ * Reproduces Fig. 9: total execution time split into serial and kernel
+ * time for GPU 1R/6R/8R and CPU 16R at mesh 128^3, block 8, 3 levels.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 9", "Serial vs kernel breakdown (128^3, B8, L3)");
+
+    Table table("Execution time breakdown (paper-length run)");
+    table.setHeader({"config", "serial (s)", "kernel (s)", "total (s)",
+                     "paper total"});
+    const char* paper[] = {"~2782 s (serial 2659)", "-", "-", "-"};
+    int idx = 0;
+    for (const PlatformConfig& platform :
+         {PlatformConfig::gpu(1, 1), PlatformConfig::gpu(1, 6),
+          PlatformConfig::gpu(1, 8), PlatformConfig::cpu(16)}) {
+        auto result = run(workload(128, 8, 3, 5), platform);
+        const double scale = result.paperScale();
+        table.addRow({platform.label(),
+                      formatFixed(result.report.serialTime * scale, 0),
+                      formatFixed(result.report.kernelTime * scale, 0),
+                      formatFixed(result.report.totalTime * scale, 0),
+                      paper[idx++]});
+    }
+    expect(table, "GPU 1R spends ~2659 s of ~2782 s outside Kokkos "
+                  "kernels; more ranks cut the serial share sharply");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file fig11_function_breakdown.cpp
+ * Reproduces Fig. 11: the percentage of execution time in each
+ * timestep-loop function, across GPU 1/6/8R and CPU 16/48/96R (mesh
+ * 128^3, block 8, 3 levels), with the absolute totals above each bar.
+ */
+#include <map>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 11", "Per-function time breakdown (128^3, B8, L3)");
+
+    const std::vector<PlatformConfig> configs = {
+        PlatformConfig::gpu(1, 1), PlatformConfig::gpu(1, 6),
+        PlatformConfig::gpu(1, 8), PlatformConfig::cpu(16),
+        PlatformConfig::cpu(48),   PlatformConfig::cpu(96)};
+
+    // Fig. 3 / Fig. 11 function inventory, in the paper's stack order.
+    const std::vector<std::string> functions = {
+        "UpdateMeshBlockTree", "Redistr.AndRef.MeshBlocks",
+        "Refinement::Tag",     "StartReceiveBoundBufs",
+        "FluxDivergence",      "FillDerived",
+        "SetBounds",           "SendBoundBufs",
+        "WeightedSumData",     "CalculateFluxes",
+        "ReceiveBoundBufs",    "EstimateTimestep",
+        "Initialise",          "other"};
+
+    std::vector<ExperimentResult> results;
+    for (const auto& platform : configs)
+        results.push_back(run(workload(128, 8, 3, 5), platform));
+
+    Table table("Share of execution time per function (%)");
+    std::vector<std::string> header = {"function"};
+    for (const auto& platform : configs)
+        header.push_back(platform.label());
+    table.setHeader(header);
+
+    for (const auto& fn : functions) {
+        std::vector<std::string> row = {fn};
+        for (const auto& result : results) {
+            const double share =
+                result.report.phaseTotal(fn) / result.report.totalTime;
+            row.push_back(formatPercent(share));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> totals = {"TOTAL (paper-length, s)"};
+    for (const auto& result : results)
+        totals.push_back(formatFixed(
+            result.report.totalTime * result.paperScale(), 0));
+    table.addRow(totals);
+    expect(table, "totals 2935/959/597/1114/400/325 s; GPU low-rank "
+                  "runs dominated by Redistr.AndRef.MeshBlocks, "
+                  "SendBoundBufs and SetBounds; CPU runs dominated by "
+                  "CalculateFluxes/WeightedSumData at low ranks");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file fig12_function_serial_kernel.cpp
+ * Reproduces Fig. 12: serial vs kernel decomposition of the five key
+ * functions (SetBounds, SendBoundBufs, CalculateFluxes,
+ * WeightedSumData, FillDerived) across the same configurations.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Fig 12", "Per-function serial/kernel split (128^3, B8, L3)");
+
+    const std::vector<PlatformConfig> configs = {
+        PlatformConfig::gpu(1, 1), PlatformConfig::gpu(1, 6),
+        PlatformConfig::gpu(1, 8), PlatformConfig::cpu(16),
+        PlatformConfig::cpu(48),   PlatformConfig::cpu(96)};
+    const std::vector<std::string> functions = {
+        "SetBounds", "SendBoundBufs", "CalculateFluxes",
+        "WeightedSumData", "FillDerived"};
+
+    std::vector<ExperimentResult> results;
+    for (const auto& platform : configs)
+        results.push_back(run(workload(128, 8, 3, 5), platform));
+
+    for (const auto& fn : functions) {
+        Table table(fn + " (seconds, paper-length run)");
+        std::vector<std::string> header = {"component"};
+        for (const auto& platform : configs)
+            header.push_back(platform.label());
+        table.setHeader(header);
+        std::vector<std::string> kernel_row = {"kernel"};
+        std::vector<std::string> serial_row = {"serial"};
+        for (const auto& result : results) {
+            const double scale = result.paperScale();
+            auto it = result.report.phases.find(fn);
+            const double k =
+                it == result.report.phases.end() ? 0 : it->second.kernel;
+            const double s =
+                it == result.report.phases.end() ? 0 : it->second.serial;
+            kernel_row.push_back(formatFixed(k * scale, 1));
+            serial_row.push_back(formatFixed(s * scale, 1));
+        }
+        table.addRow(kernel_row);
+        table.addRow(serial_row);
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "paper: GPU 1R shows a large serial-over-kernel gap "
+                 "in every function; CPU splits are balanced and "
+                 "shrink with rank count.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file sec5_multinode.cpp
+ * Reproduces the Section V multi-node discussion: two-node vs
+ * one-node scaling ratios for CPU and GPU platforms, the block-size
+ * performance drop across two nodes, and the AMR-level drop at mesh
+ * 256^3 — all with one rank per GPU / one rank per core, as in the
+ * paper.
+ */
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+    banner("Sec V", "Multi-node scaling (2 nodes vs 1)");
+
+    auto scaling = [&](int mesh, int block, int levels, int cycles) {
+        auto spec = workload(mesh, block, levels, cycles);
+        const auto cpu1 = run(spec, PlatformConfig::cpu(96, 1));
+        const auto cpu2 = run(spec, PlatformConfig::cpu(192, 2));
+        const auto gpu1 = run(spec, PlatformConfig::gpu(8, 8, 1));
+        const auto gpu2 = run(spec, PlatformConfig::gpu(16, 16, 2));
+        return std::array<double, 4>{cpu1.fom(), cpu2.fom(), gpu1.fom(),
+                                     gpu2.fom()};
+    };
+
+    Table table("Two-node/one-node FOM ratio");
+    table.setHeader({"config (mesh, block, levels)", "CPU 2N/1N",
+                     "GPU 2N/1N", "paper (CPU / GPU)"});
+    {
+        const auto s = scaling(128, 8, 3, 5);
+        table.addRow({"128, 8, 3", formatRatio(s[1] / s[0]),
+                      formatRatio(s[3] / s[2]), "1.63x / 1.51x"});
+    }
+    {
+        const auto s = scaling(128, 16, 3, 6);
+        table.addRow({"128, 16, 3", formatRatio(s[1] / s[0]),
+                      formatRatio(s[3] / s[2]), "1.85x / 0.95x"});
+    }
+    expect(table, "CPUs scale across nodes; GPUs scale weakly or "
+                  "regress at larger blocks");
+    table.print(std::cout);
+
+    // Block-size drop across two nodes (B32 -> B8).
+    Table drop("\nB32 -> B8 performance drop across two nodes");
+    drop.setHeader({"mesh", "CPU drop", "GPU drop", "paper"});
+    for (int mesh : {128, 256}) {
+        const int cyc8 = mesh == 256 ? 3 : 5;
+        auto b32 = workload(mesh, 32, 3, 6);
+        auto b8 = workload(mesh, 8, 3, cyc8);
+        const auto cpu32 = run(b32, PlatformConfig::cpu(192, 2));
+        const auto cpu8 = run(b8, PlatformConfig::cpu(192, 2));
+        const auto gpu32 = run(b32, PlatformConfig::gpu(16, 16, 2));
+        const auto gpu8 = run(b8, PlatformConfig::gpu(16, 16, 2));
+        drop.addRow({std::to_string(mesh) + "^3",
+                     formatRatio(cpu32.fom() / cpu8.fom()),
+                     formatRatio(gpu32.fom() / gpu8.fom()),
+                     mesh == 128 ? "5.88x / 90.77x"
+                                 : "5.73x / 207.83x"});
+    }
+    expect(drop, "the small-block penalty is far more severe for GPUs "
+                 "and grows with mesh size");
+    drop.print(std::cout);
+
+    // AMR-level drop at mesh 256, B16: L1 -> L3.
+    Table levels("\nL1 -> L3 drop at mesh 256^3, B16 (two nodes)");
+    levels.setHeader({"platform", "FOM(L1)/FOM(L3)", "paper"});
+    auto l1 = workload(256, 16, 1, 4);
+    auto l3 = workload(256, 16, 3, 4);
+    const auto cpu_l1 = run(l1, PlatformConfig::cpu(192, 2));
+    const auto cpu_l3 = run(l3, PlatformConfig::cpu(192, 2));
+    const auto gpu_l1 = run(l1, PlatformConfig::gpu(16, 16, 2));
+    const auto gpu_l3 = run(l3, PlatformConfig::gpu(16, 16, 2));
+    levels.addRow({"CPU x2N", formatRatio(cpu_l1.fom() / cpu_l3.fom()),
+                   "1.22x"});
+    levels.addRow({"GPU x2N", formatRatio(gpu_l1.fom() / gpu_l3.fom()),
+                   "3.92x"});
+    levels.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file platform_explorer.cpp
+ * Interactive what-if tool over the performance model: given a
+ * workload (mesh size, MeshBlockSize, #AMR levels), sweep ranks-per-GPU
+ * and CPU core counts, print FOM / serial fraction / memory, and find
+ * the OOM wall — the paper's §IV-E rank-vs-memory tradeoff.
+ *
+ * Usage: platform_explorer [mesh] [block] [levels]
+ *        (defaults: 64 16 3; e.g. `platform_explorer 128 8 3`
+ *         reproduces the paper's workhorse configuration)
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace vibe;
+
+    const int mesh = argc > 1 ? std::atoi(argv[1]) : 64;
+    const int block = argc > 2 ? std::atoi(argv[2]) : 16;
+    const int levels = argc > 3 ? std::atoi(argv[3]) : 3;
+
+    std::cout << "== Platform explorer: mesh " << mesh << "^3, block "
+              << block << "^3, " << levels << " AMR levels ==\n\n";
+
+    ExperimentSpec base;
+    base.meshSize = mesh;
+    base.blockSize = block;
+    base.amrLevels = levels;
+    base.ncycles = 5;
+
+    Table gpu_table("Single GPU: ranks-per-GPU sweep");
+    gpu_table.setHeader({"ranks", "FOM", "serial frac", "memory (GB)",
+                         "OOM"});
+    double best_fom = 0;
+    int best_r = 1;
+    for (int r : {1, 2, 4, 6, 8, 12, 16, 24}) {
+        auto spec = base;
+        spec.platform = PlatformConfig::gpu(1, r);
+        auto result = Experiment(spec).run();
+        gpu_table.addRow({std::to_string(r), formatSci(result.fom(), 2),
+                          formatPercent(result.serialFraction()),
+                          formatFixed(result.report.memory.totalGB, 1),
+                          result.oom() ? "yes" : "no"});
+        if (!result.oom() && result.fom() > best_fom) {
+            best_fom = result.fom();
+            best_r = r;
+        }
+    }
+    gpu_table.addNote("best non-OOM rank count: " +
+                      std::to_string(best_r));
+    gpu_table.print(std::cout);
+
+    Table cpu_table("\nCPU: core-count sweep");
+    cpu_table.setHeader({"cores", "FOM", "kernel (s)", "serial (s)"});
+    for (int cores : {4, 16, 48, 96}) {
+        auto spec = base;
+        spec.platform = PlatformConfig::cpu(cores);
+        auto result = Experiment(spec).run();
+        cpu_table.addRow({std::to_string(cores),
+                          formatSci(result.fom(), 2),
+                          formatSeconds(result.report.kernelTime),
+                          formatSeconds(result.report.serialTime)});
+    }
+    cpu_table.print(std::cout);
+
+    std::cout << "\nTip: pass a workload on the command line, e.g.\n"
+              << "  platform_explorer 128 8 3   # the paper's "
+                 "serial-bound configuration\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file ripple.cpp
+ * The paper's §II-C analogy, simulated for real: a stone dropped into
+ * still water. An outward radial velocity pulse (the ripple) evolves
+ * under the vector inviscid Burgers equation with WENO5/HLL/RK2;
+ * gradient tagging refines the mesh around the steepening front and
+ * coarsens the calm interior; flux correction keeps total scalar mass
+ * conserved to round-off while blocks split and merge.
+ *
+ * Build & run:  ./build/examples/ripple
+ */
+#include <cmath>
+#include <iostream>
+
+#include "comm/rank_world.hpp"
+#include "driver/evolution_driver.hpp"
+#include "driver/tagger.hpp"
+#include "exec/kernel_profiler.hpp"
+#include "exec/memory_tracker.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace vibe;
+
+    std::cout << "== Ripple: AMR tracking an expanding wavefront ==\n\n";
+
+    KernelProfiler profiler;
+    MemoryTracker tracker;
+    ExecContext ctx(ExecMode::Execute, &profiler, &tracker);
+    auto registry = makeBurgersRegistry(4);
+
+    MeshConfig mesh_config;
+    mesh_config.nx1 = mesh_config.nx2 = mesh_config.nx3 = 32;
+    mesh_config.blockNx1 = mesh_config.blockNx2 =
+        mesh_config.blockNx3 = 8;
+    mesh_config.amrLevels = 2;
+    Mesh mesh(mesh_config, registry, ctx);
+    RankWorld world(4);
+
+    BurgersConfig burgers_config;
+    burgers_config.numScalars = 4;
+    burgers_config.refineTol = 0.05;
+    burgers_config.derefineTol = 0.015;
+    BurgersPackage package(burgers_config);
+    GradientTagger tagger(package);
+
+    DriverConfig driver_config;
+    driver_config.ncycles = 20;
+    driver_config.derefineGap = 5;
+    driver_config.ic = InitialCondition::Ripple;
+    EvolutionDriver driver(mesh, package, world, tagger, driver_config);
+
+    driver.initialize();
+    std::cout << "initial mesh: " << mesh.numBlocks()
+              << " blocks (max level " << mesh.maxPresentLevel()
+              << "), dt = " << driver.dt() << "\n\n";
+    driver.run();
+
+    Table table("Evolution history");
+    table.setHeader({"cycle", "time", "dt", "blocks", "refined",
+                     "derefined", "moved", "mass"});
+    for (const auto& s : driver.history()) {
+        if (s.cycle % 2 != 0)
+            continue; // print every other cycle
+        table.addRow({std::to_string(s.cycle), formatSig(s.time, 3),
+                      formatSig(s.dt, 3), std::to_string(s.nblocks),
+                      std::to_string(s.refined),
+                      std::to_string(s.derefined),
+                      std::to_string(s.movedBlocks),
+                      formatSig(s.mass, 10)});
+    }
+    table.print(std::cout);
+
+    const double mass0 = driver.history().front().mass;
+    const double mass1 = driver.history().back().mass;
+    std::cout << "\nconservation: |mass drift| = "
+              << formatSig(std::fabs(mass1 - mass0), 3)
+              << " (flux correction + conservative restriction keep "
+                 "this at round-off)\n";
+    std::cout << "ghost cells communicated: " << driver.commCells()
+              << ", flux-correction faces: " << driver.commFaces()
+              << "\n";
+    std::cout << "kernel launches recorded: "
+              << profiler.totalLaunches()
+              << ", device-memory footprint: "
+              << formatBytes(static_cast<double>(tracker.currentBytes()))
+              << "\n";
+    return 0;
+}

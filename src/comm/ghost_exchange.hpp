@@ -1,0 +1,72 @@
+/**
+ * @file ghost_exchange.hpp
+ * The four-function ghost-cell communication cycle (paper §II-D) and
+ * the flux-correction exchange at fine-coarse faces.
+ *
+ * - StartReceiveBoundBufs: post/prepare receive bookkeeping.
+ * - SendBoundBufs: restrict fine data destined for coarser neighbors
+ *   (GPU-offloaded), pack variable data, and start non-blocking sends
+ *   or local copies.
+ * - ReceiveBoundBufs: poll with Iprobe/Test until every expected buffer
+ *   has arrived.
+ * - SetBounds: unpack buffers into ghost zones, prolongating coarse
+ *   slabs into fine ghosts (GPU-offloaded), and mark buffers stale.
+ *
+ * Flux correction reuses the same machinery on flux fields only
+ * (§II-C), replacing the coarse face flux with the restricted sum of
+ * the fine fluxes so conservation holds across levels.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "comm/boundary_buffers.hpp"
+#include "comm/rank_world.hpp"
+#include "mesh/mesh.hpp"
+
+namespace vibe {
+
+/** Drives ghost and flux-correction exchanges over a RankWorld. */
+class GhostExchange
+{
+  public:
+    GhostExchange(Mesh& mesh, RankWorld& world,
+                  BoundaryBufferCache& cache);
+
+    /** Run one complete ghost exchange (the four phases, in order). */
+    void exchangeBounds();
+
+    void startReceiveBoundBufs();
+    void sendBoundBufs();
+    void receiveBoundBufs();
+    void setBounds();
+
+    /**
+     * Run one flux-correction exchange. Must be called after fluxes are
+     * computed and before FluxDivergence consumes them.
+     */
+    void exchangeFluxCorrections();
+
+    /**
+     * Fill ghost zones at non-periodic physical boundaries with
+     * zero-gradient (outflow) data. No-op for periodic domains.
+     */
+    void applyPhysicalBoundaries();
+
+    /** Ghost cells moved in the most recent exchangeBounds(). */
+    std::int64_t lastWireCells() const { return last_wire_cells_; }
+
+  private:
+    void packAndSend(const BoundsChannel& ch);
+    void unpack(const BoundsChannel& ch, const Message& msg);
+    void packAndSendFlux(const FluxChannel& ch);
+    void unpackFlux(const FluxChannel& ch, const Message& msg);
+
+    Mesh* mesh_;
+    RankWorld* world_;
+    BoundaryBufferCache* cache_;
+    std::int64_t last_wire_cells_ = 0;
+    std::uint64_t pending_receives_ = 0;
+};
+
+} // namespace vibe

@@ -1,0 +1,92 @@
+#include "comm/rank_world.hpp"
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+std::size_t
+ChannelIdHash::operator()(const ChannelId& id) const
+{
+    LogicalLocationHash loc_hash;
+    std::size_t h = loc_hash(id.sender);
+    h ^= loc_hash(id.receiver) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    const std::size_t dir =
+        static_cast<std::size_t>(id.o1 + 1) * 9 +
+        static_cast<std::size_t>(id.o2 + 1) * 3 +
+        static_cast<std::size_t>(id.o3 + 1) +
+        (static_cast<std::size_t>(id.kind) << 5);
+    h ^= dir + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+RankWorld::RankWorld(int nranks) : nranks_(nranks)
+{
+    require(nranks >= 1, "RankWorld needs at least one rank");
+}
+
+void
+RankWorld::isend(const ChannelId& channel, int src, int dst,
+                 std::vector<double> payload, double bytes)
+{
+    require(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
+            "isend rank out of range: ", src, " -> ", dst);
+    if (src == dst) {
+        ++traffic_.localMessages;
+        traffic_.localBytes += bytes;
+    } else {
+        ++traffic_.remoteMessages;
+        traffic_.remoteBytes += bytes;
+    }
+    mailboxes_[channel].push_back({src, dst, std::move(payload), bytes});
+    ++pending_total_;
+}
+
+bool
+RankWorld::iprobe(const ChannelId& channel)
+{
+    ++traffic_.probes;
+    auto it = mailboxes_.find(channel);
+    return it != mailboxes_.end() && !it->second.empty();
+}
+
+std::optional<Message>
+RankWorld::receive(const ChannelId& channel)
+{
+    ++traffic_.tests;
+    auto it = mailboxes_.find(channel);
+    if (it == mailboxes_.end() || it->second.empty())
+        return std::nullopt;
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
+    --pending_total_;
+    return msg;
+}
+
+void
+RankWorld::allGather(double bytes_per_rank)
+{
+    ++traffic_.allGathers;
+    traffic_.collectiveBytes += bytes_per_rank * nranks_;
+}
+
+void
+RankWorld::allReduce(double bytes)
+{
+    ++traffic_.allReduces;
+    traffic_.collectiveBytes += bytes;
+}
+
+void
+RankWorld::accountTransfer(int src, int dst, double bytes)
+{
+    if (src == dst) {
+        ++traffic_.localMessages;
+        traffic_.localBytes += bytes;
+    } else {
+        ++traffic_.remoteMessages;
+        traffic_.remoteBytes += bytes;
+    }
+}
+
+} // namespace vibe

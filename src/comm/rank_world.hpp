@@ -1,0 +1,126 @@
+/**
+ * @file rank_world.hpp
+ * Simulated MPI world.
+ *
+ * All ranks live in one process; messages are routed through per-channel
+ * mailboxes with non-blocking send / probe / receive semantics matching
+ * the subset of MPI Parthenon uses (Isend, Iprobe, Test, AllGather,
+ * AllReduce). Local (same-rank) and remote (cross-rank) traffic is
+ * accounted separately, as are collective invocations — these counters
+ * drive the communication and memory terms of the performance model
+ * (paper §IV-E, Fig. 10).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/logical_location.hpp"
+
+namespace vibe {
+
+/** What a point-to-point channel carries. */
+enum class ChannelKind : std::uint8_t { Bounds = 0, Flux = 1 };
+
+/**
+ * Stable identity of a directed communication channel: (sender block,
+ * receiver block, direction as seen from the receiver, payload kind).
+ * Mirrors Parthenon's boundary-buffer tag map keys.
+ */
+struct ChannelId
+{
+    LogicalLocation sender;
+    LogicalLocation receiver;
+    std::int8_t o1 = 0, o2 = 0, o3 = 0;
+    ChannelKind kind = ChannelKind::Bounds;
+
+    friend bool operator==(const ChannelId&, const ChannelId&) = default;
+};
+
+struct ChannelIdHash
+{
+    std::size_t operator()(const ChannelId& id) const;
+};
+
+/** One in-flight message. */
+struct Message
+{
+    int src = 0, dst = 0;
+    std::vector<double> payload; ///< Real data (empty in counting mode).
+    double bytes = 0;            ///< Modeled wire size.
+};
+
+/** Cumulative traffic counters consumed by the performance model. */
+struct Traffic
+{
+    std::uint64_t localMessages = 0;
+    std::uint64_t remoteMessages = 0;
+    double localBytes = 0;
+    double remoteBytes = 0;
+    std::uint64_t allGathers = 0;
+    std::uint64_t allReduces = 0;
+    double collectiveBytes = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t tests = 0;
+
+    std::uint64_t totalMessages() const
+    {
+        return localMessages + remoteMessages;
+    }
+    double totalBytes() const { return localBytes + remoteBytes; }
+};
+
+/**
+ * The simulated communicator. Delivery is immediate (a message becomes
+ * probe-able as soon as it is sent); the *cost* of transport is applied
+ * later by the performance model, which is the right decomposition for
+ * a single-node characterization where MPI progress is driven by
+ * polling (§II-D).
+ */
+class RankWorld
+{
+  public:
+    explicit RankWorld(int nranks);
+
+    int nranks() const { return nranks_; }
+
+    /** Non-blocking send on `channel` from rank `src` to rank `dst`. */
+    void isend(const ChannelId& channel, int src, int dst,
+               std::vector<double> payload, double bytes);
+
+    /** MPI_Iprobe analogue: is a message pending on `channel`? */
+    bool iprobe(const ChannelId& channel);
+
+    /** MPI_Test + receive: take the pending message, if any. */
+    std::optional<Message> receive(const ChannelId& channel);
+
+    /** Messages still undelivered (should be 0 between phases). */
+    std::size_t pendingCount() const { return pending_total_; }
+
+    /** AllGather of `bytes_per_rank` contributed by every rank. */
+    void allGather(double bytes_per_rank);
+
+    /** AllReduce over a `bytes`-sized payload. */
+    void allReduce(double bytes);
+
+    /**
+     * Account a bulk point-to-point transfer (block redistribution)
+     * without queuing a deliverable message.
+     */
+    void accountTransfer(int src, int dst, double bytes);
+
+    const Traffic& traffic() const { return traffic_; }
+    void resetTraffic() { traffic_ = Traffic{}; }
+
+  private:
+    int nranks_;
+    std::unordered_map<ChannelId, std::deque<Message>, ChannelIdHash>
+        mailboxes_;
+    std::size_t pending_total_ = 0;
+    Traffic traffic_;
+};
+
+} // namespace vibe

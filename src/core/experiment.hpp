@@ -1,0 +1,111 @@
+/**
+ * @file experiment.hpp
+ * The characterization harness: configure a workload (mesh size,
+ * MeshBlockSize, #AMR Levels), run the instrumented AMR simulation
+ * under a platform configuration's rank count, and evaluate the
+ * performance model — one call per bar/point of every paper figure.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "driver/evolution_driver.hpp"
+#include "exec/kernel_profiler.hpp"
+#include "exec/memory_tracker.hpp"
+#include "perfmodel/execution_model.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace vibe {
+
+/** One experiment point: workload x platform. */
+struct ExperimentSpec
+{
+    // Workload (§II-F parameters).
+    int meshSize = 128;   ///< Cells per dimension at the base level.
+    int blockSize = 16;   ///< MeshBlockSize per dimension.
+    int amrLevels = 3;    ///< Paper's "#AMR Levels" (1 = uniform).
+    int ndim = 3;
+    int numScalars = 8;
+    int numGhost = 4;
+    int ncycles = 10;     ///< Evolution cycles to simulate.
+    /**
+     * Numeric mode runs the real WENO5/HLL/RK2 solver (small configs,
+     * examples, tests); counting mode evolves the identical mesh
+     * structure with an analytic ripple tagger and skips kernel bodies
+     * (large perf studies).
+     */
+    bool numeric = false;
+    bool optimizeAuxMemory = false; ///< §VIII-B layout ablation.
+    bool randomizeBufferKeys = true; ///< §VIII-A ablation.
+
+    // Platform.
+    PlatformConfig platform = PlatformConfig::gpu(1, 1);
+
+    /** CFL-consistent fixed dt for counting mode (u_char = 1). */
+    double fixedDt() const;
+};
+
+/** Everything measured + modeled for one experiment point. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+    TimingReport report;
+
+    // Workload facts (exact, from the instrumented run).
+    std::int64_t zoneCycles = 0;
+    std::int64_t commCells = 0;
+    std::int64_t commFaces = 0;
+    std::int64_t cellUpdates = 0;  ///< Interior-cell updates (2 stages).
+    std::size_t finalBlocks = 0;
+    std::size_t kokkosBytes = 0;
+    std::vector<CycleStats> history;
+
+    /** Full profiler copy (opcode model, Table III, breakdowns). */
+    KernelProfiler profiler;
+
+    /** zone-cycles/sec under the modeled platform. */
+    double fom() const { return report.fom; }
+    bool oom() const { return report.memory.oom; }
+    /** Serial fraction of total modeled time. */
+    double serialFraction() const
+    {
+        return report.totalTime > 0
+                   ? report.serialTime / report.totalTime
+                   : 0.0;
+    }
+    /**
+     * Multiplier converting this run's totals to a paper-length
+     * production run (the calibration's assumed ~400 cycles).
+     */
+    double paperScale() const;
+};
+
+/** Runs one experiment point end to end. */
+class Experiment
+{
+  public:
+    explicit Experiment(const ExperimentSpec& spec) : spec_(spec) {}
+
+    /** Build the workload, simulate, and evaluate the platform model. */
+    ExperimentResult run() const;
+
+    /**
+     * Evaluate `base` across candidate ranks-per-GPU values and return
+     * the best non-OOM result (the paper's "BestR" series), or the
+     * lowest-rank OOM result if every candidate OOMs.
+     *
+     * @param best_ranks_per_gpu If non-null, receives the winning R.
+     */
+    static ExperimentResult
+    bestRank(ExperimentSpec base, int gpus,
+             const std::vector<int>& ranks_per_gpu_candidates,
+             int* best_ranks_per_gpu = nullptr);
+
+  private:
+    ExperimentSpec spec_;
+};
+
+} // namespace vibe

@@ -1,0 +1,301 @@
+#include "driver/evolution_driver.hpp"
+
+#include "driver/task_list.hpp"
+#include "exec/par_for.hpp"
+#include "mesh/prolong_restrict.hpp"
+#include "util/logging.hpp"
+
+namespace vibe {
+
+DriverConfig
+DriverConfig::fromParams(const ParameterInput& pin)
+{
+    DriverConfig config;
+    config.ncycles = pin.getInt("driver", "ncycles", 10);
+    config.tlim = pin.getReal("driver", "tlim", 1e30);
+    config.fixedDt = pin.getReal("driver", "fixed_dt", 2e-3);
+    config.derefineGap = pin.getInt("amr", "derefine_gap", 10);
+    config.refineEvery = pin.getInt("amr", "refine_every", 1);
+    config.lbEvery = pin.getInt("amr", "lb_every", 1);
+    config.ic = initialConditionFromName(
+        pin.getString("burgers", "ic", "ripple"));
+    config.randomizeBufferKeys =
+        pin.getBool("comm", "randomize_buffer_keys", true);
+    return config;
+}
+
+EvolutionDriver::EvolutionDriver(Mesh& mesh,
+                                 const BurgersPackage& package,
+                                 RankWorld& world,
+                                 RefinementTagger& tagger,
+                                 const DriverConfig& config)
+    : mesh_(&mesh), package_(&package), world_(&world), tagger_(&tagger),
+      config_(config), cache_(mesh, config.randomizeBufferKeys),
+      exchange_(mesh, world, cache_)
+{
+    dt_ = config_.fixedDt;
+}
+
+void
+EvolutionDriver::initialize()
+{
+    const ExecContext& ctx = mesh_->ctx();
+    PhaseScope scope(ctx.profiler(), "Initialise");
+
+    if (ctx.executing())
+        package_->initialize(*mesh_, config_.ic);
+
+    // Initial refinement: iterate up to the level budget so the mesh
+    // conforms to the tagging criterion before evolution starts.
+    const int max_iters = mesh_->config().amrLevels - 1;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        tagger_->tagAll(*mesh_, time_, cycle_);
+        RefinementFlagMap flags;
+        for (const auto& block : mesh_->blocks())
+            if (block->tag() == RefinementFlag::Refine)
+                flags[block->loc()] = RefinementFlag::Refine;
+        auto update = mesh_->updateTree(flags);
+        if (!update.changed())
+            break;
+        auto restructure = mesh_->applyTreeUpdate(update, cycle_);
+        if (ctx.executing()) {
+            // At initialization new blocks take exact initial
+            // conditions rather than prolongated data.
+            for (auto& refined : restructure.refined)
+                for (MeshBlock* child : refined.children)
+                    package_->initializeBlock(*child, config_.ic);
+            for (auto& derefined : restructure.derefined)
+                package_->initializeBlock(*derefined.parent, config_.ic);
+        }
+        cache_.rebuild();
+    }
+
+    loadBalance(*mesh_, *world_);
+    cache_.rebuild();
+    exchange_.exchangeBounds();
+    exchange_.applyPhysicalBoundaries();
+    package_->fillDerived(*mesh_);
+    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
+}
+
+void
+EvolutionDriver::run()
+{
+    while (cycle_ < config_.ncycles && time_ < config_.tlim)
+        doCycle();
+}
+
+void
+EvolutionDriver::doCycle()
+{
+    CycleStats stats;
+    stats.cycle = cycle_;
+    stats.time = time_;
+    stats.dt = dt_;
+    stats.nblocks = mesh_->numBlocks();
+    stats.interiorCells = mesh_->totalInteriorCells();
+
+    const std::int64_t wire_before = comm_cells_;
+    const std::int64_t faces_before = comm_faces_;
+
+    step();
+
+    // FOM numerator: blocks processed this cycle x cells per block.
+    zone_cycles_ += stats.interiorCells;
+
+    // --- LoadBalancingAndAMR ---
+    loadBalancingAndAmr();
+
+    // --- EstimateTimeStep ---
+    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
+
+    // --- Per-cycle history output (VIBE's MassHistory) ---
+    stats.mass = package_->massHistory(*mesh_, *world_);
+
+    time_ += stats.dt;
+    ++cycle_;
+
+    stats.wireCells = comm_cells_ - wire_before;
+    stats.wireFaces = comm_faces_ - faces_before;
+    stats.refined = last_refined_;
+    stats.derefined = last_derefined_;
+    stats.movedBlocks = last_moved_;
+    history_.push_back(stats);
+}
+
+void
+EvolutionDriver::step()
+{
+    const bool fc = mesh_->config().amrLevels > 1;
+
+    saveState(*mesh_);
+    for (int stage = 1; stage <= 2; ++stage) {
+        TaskList tl;
+        const TaskId t_start = tl.addTask("StartReceiveBoundBufs", [&] {
+            exchange_.startReceiveBoundBufs();
+            return TaskStatus::Complete;
+        });
+        const TaskId t_send = tl.addTask(
+            "SendBoundBufs",
+            [&] {
+                exchange_.sendBoundBufs();
+                return TaskStatus::Complete;
+            },
+            {t_start});
+        const TaskId t_recv = tl.addTask(
+            "ReceiveBoundBufs",
+            [&] {
+                exchange_.receiveBoundBufs();
+                return TaskStatus::Complete;
+            },
+            {t_send});
+        const TaskId t_set = tl.addTask(
+            "SetBounds",
+            [&] {
+                exchange_.setBounds();
+                exchange_.applyPhysicalBoundaries();
+                return TaskStatus::Complete;
+            },
+            {t_recv});
+        const TaskId t_flux = tl.addTask(
+            "CalculateFluxes",
+            [&] {
+                package_->calculateFluxes(*mesh_);
+                return TaskStatus::Complete;
+            },
+            {t_set});
+        TaskId t_prev = t_flux;
+        if (fc) {
+            t_prev = tl.addTask(
+                "FluxCorrection",
+                [&] {
+                    exchange_.exchangeFluxCorrections();
+                    return TaskStatus::Complete;
+                },
+                {t_flux});
+        }
+        const TaskId t_div = tl.addTask(
+            "FluxDivergence",
+            [&] {
+                package_->fluxDivergence(*mesh_);
+                return TaskStatus::Complete;
+            },
+            {t_prev});
+        tl.addTask(
+            "WeightedSumData",
+            [&, stage] {
+                if (stage == 1)
+                    stage1Update(*mesh_, dt_);
+                else
+                    stage2Update(*mesh_, dt_);
+                return TaskStatus::Complete;
+            },
+            {t_div});
+        tl.execute();
+
+        comm_cells_ += exchange_.lastWireCells();
+        if (fc)
+            comm_faces_ += cache_.totalWireFaces();
+    }
+    package_->fillDerived(*mesh_);
+}
+
+RefinementFlagMap
+EvolutionDriver::collectFlags()
+{
+    RefinementFlagMap flags;
+    for (const auto& block : mesh_->blocks()) {
+        RefinementFlag tag = block->tag();
+        // Derefinement gap: a block must have existed for at least
+        // `derefineGap` cycles before it may be coarsened (§II-G).
+        if (tag == RefinementFlag::Derefine &&
+            cycle_ - block->createdCycle() < config_.derefineGap)
+            tag = RefinementFlag::None;
+        if (tag != RefinementFlag::None)
+            flags[block->loc()] = tag;
+    }
+    return flags;
+}
+
+void
+EvolutionDriver::loadBalancingAndAmr()
+{
+    const ExecContext& ctx = mesh_->ctx();
+    last_refined_ = 0;
+    last_derefined_ = 0;
+    last_moved_ = 0;
+
+    const bool do_amr = mesh_->config().amrLevels > 1 &&
+                        config_.refineEvery > 0 &&
+                        cycle_ % config_.refineEvery == 0;
+
+    BlockTree::UpdateResult update;
+    if (do_amr) {
+        tagger_->tagAll(*mesh_, time_, cycle_);
+
+        {
+            PhaseScope scope(ctx.profiler(), "UpdateMeshBlockTree");
+            // Flags are aggregated across ranks with an AllGather
+            // (one flag per block).
+            world_->allGather(
+                4.0 * static_cast<double>(mesh_->numBlocks()) /
+                world_->nranks());
+            recordSerial(ctx, "collective", 1.0);
+            update = mesh_->updateTree(collectFlags());
+        }
+    }
+
+    {
+        PhaseScope scope(ctx.profiler(), "Redistr.AndRef.MeshBlocks");
+        if (update.changed()) {
+            auto restructure = mesh_->applyTreeUpdate(update, cycle_);
+            applyRestructureData(restructure);
+            last_refined_ = static_cast<int>(restructure.refined.size());
+            last_derefined_ =
+                static_cast<int>(restructure.derefined.size());
+        }
+        if (config_.lbEvery > 0 && cycle_ % config_.lbEvery == 0) {
+            auto lb = loadBalance(*mesh_, *world_);
+            last_moved_ = lb.movedBlocks;
+        }
+        if (update.changed() || last_moved_ > 0) {
+            // BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors.
+            cache_.rebuild();
+        }
+    }
+}
+
+void
+EvolutionDriver::applyRestructureData(
+    const Mesh::Restructure& restructure)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    for (const auto& refined : restructure.refined) {
+        for (MeshBlock* child : refined.children) {
+            ctx.setCurrentRank(child->rank());
+            if (ctx.executing())
+                prolongateParentToChild(ctx, *refined.parent, *child);
+            else
+                recordKernel(ctx, "ProlongRestrictLoop",
+                             static_cast<double>(
+                                 child->shape().interiorCells()),
+                             {30.0, 8.0 * sizeof(double)},
+                             static_cast<double>(child->shape().nx1));
+        }
+    }
+    for (const auto& derefined : restructure.derefined) {
+        for (const auto& child : derefined.children) {
+            ctx.setCurrentRank(derefined.parent->rank());
+            if (ctx.executing())
+                restrictChildToParent(ctx, *child, *derefined.parent);
+            else
+                recordKernel(ctx, "ProlongRestrictLoop",
+                             static_cast<double>(
+                                 child->shape().interiorCells() / 8),
+                             {10.0, 9.0 * sizeof(double)},
+                             static_cast<double>(child->shape().nx1 / 2));
+        }
+    }
+}
+
+} // namespace vibe

@@ -1,0 +1,134 @@
+/**
+ * @file evolution_driver.hpp
+ * The Parthenon timestep loop (paper Fig. 3): each cycle runs
+ * Step (two RK2 stages of ghost exchange -> CalculateFluxes ->
+ * flux correction -> FluxDivergence -> WeightedSumData, then
+ * FillDerived), LoadBalancingAndAMR (Refinement::Tag ->
+ * UpdateMeshBlockTree -> RedistributeAndRefineMeshBlocks), and
+ * EstimateTimeStep, plus the per-cycle history reduction.
+ *
+ * The driver accumulates the workload counters (zone-cycles,
+ * communicated cells, block counts) that the performance model and the
+ * figure-of-merit computation consume.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/boundary_buffers.hpp"
+#include "comm/ghost_exchange.hpp"
+#include "comm/rank_world.hpp"
+#include "driver/load_balance.hpp"
+#include "driver/tagger.hpp"
+#include "mesh/mesh.hpp"
+#include "solver/burgers.hpp"
+#include "solver/rk2.hpp"
+#include "util/parameter_input.hpp"
+
+namespace vibe {
+
+/** Loop-control parameters (paper §II-G policies as defaults). */
+struct DriverConfig
+{
+    std::int64_t ncycles = 10;
+    double tlim = 1e30;
+    /** Timestep used in counting mode / before the first estimate. */
+    double fixedDt = 2e-3;
+    /** Minimum cycles between derefinements of a block (paper: 10). */
+    int derefineGap = 10;
+    /** Check refinement every N cycles (paper: 1). */
+    int refineEvery = 1;
+    /** Load balance every N cycles (paper: 1). */
+    int lbEvery = 1;
+    InitialCondition ic = InitialCondition::Ripple;
+    /** Shuffle boundary keys in the buffer cache (§VIII-A). */
+    bool randomizeBufferKeys = true;
+
+    static DriverConfig fromParams(const ParameterInput& pin);
+};
+
+/** Per-cycle workload record. */
+struct CycleStats
+{
+    std::int64_t cycle = 0;
+    double time = 0;
+    double dt = 0;
+    std::size_t nblocks = 0;
+    std::int64_t interiorCells = 0;
+    std::int64_t wireCells = 0;     ///< Ghost cells moved this cycle.
+    std::int64_t wireFaces = 0;     ///< Flux-correction faces moved.
+    int refined = 0;                ///< Blocks split this cycle.
+    int derefined = 0;              ///< Sibling sets merged this cycle.
+    int movedBlocks = 0;            ///< Blocks re-homed by load balance.
+    double mass = 0;                ///< History output (numeric mode).
+};
+
+/** Runs the timestep loop over a Mesh. */
+class EvolutionDriver
+{
+  public:
+    /**
+     * All dependencies outlive the driver. The driver owns the
+     * boundary-buffer cache and ghost-exchange engine.
+     */
+    EvolutionDriver(Mesh& mesh, const BurgersPackage& package,
+                    RankWorld& world, RefinementTagger& tagger,
+                    const DriverConfig& config);
+
+    /**
+     * Phase "Initialise": initial conditions (numeric mode), initial
+     * refinement iterations, initial load balance and ghost fill.
+     */
+    void initialize();
+
+    /** Run until ncycles or tlim. */
+    void run();
+
+    /** One cycle: Step, LoadBalancingAndAMR, EstimateTimeStep. */
+    void doCycle();
+
+    std::int64_t cycle() const { return cycle_; }
+    double time() const { return time_; }
+    double dt() const { return dt_; }
+
+    /** Total zone-cycles so far (FOM numerator, §III-A). */
+    std::int64_t zoneCycles() const { return zone_cycles_; }
+    /** Total ghost cells communicated so far. */
+    std::int64_t commCells() const { return comm_cells_; }
+    /** Total flux-correction faces communicated so far. */
+    std::int64_t commFaces() const { return comm_faces_; }
+
+    const std::vector<CycleStats>& history() const { return history_; }
+
+    BoundaryBufferCache& bufferCache() { return cache_; }
+    GhostExchange& exchange() { return exchange_; }
+
+  private:
+    void step();
+    void loadBalancingAndAmr();
+    void applyRestructureData(const Mesh::Restructure& restructure);
+    RefinementFlagMap collectFlags();
+
+    Mesh* mesh_;
+    const BurgersPackage* package_;
+    RankWorld* world_;
+    RefinementTagger* tagger_;
+    DriverConfig config_;
+    BoundaryBufferCache cache_;
+    GhostExchange exchange_;
+
+    std::int64_t cycle_ = 0;
+    double time_ = 0;
+    double dt_ = 0;
+    int last_refined_ = 0;
+    int last_derefined_ = 0;
+    int last_moved_ = 0;
+    std::int64_t zone_cycles_ = 0;
+    std::int64_t comm_cells_ = 0;
+    std::int64_t comm_faces_ = 0;
+    std::vector<CycleStats> history_;
+};
+
+} // namespace vibe

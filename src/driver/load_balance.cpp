@@ -1,0 +1,70 @@
+#include "driver/load_balance.hpp"
+
+#include <algorithm>
+
+#include "exec/par_for.hpp"
+
+namespace vibe {
+
+LoadBalanceStats
+loadBalance(Mesh& mesh, RankWorld& world)
+{
+    const ExecContext& ctx = mesh.ctx();
+    const int nranks = world.nranks();
+    const auto& blocks = mesh.blocks();
+    LoadBalanceStats stats;
+    if (blocks.empty())
+        return stats;
+
+    // Costs are exchanged with an AllGather (one entry per block).
+    world.allGather(static_cast<double>(sizeof(double)) *
+                    static_cast<double>(blocks.size()) / nranks);
+    recordSerial(ctx, "collective", 1.0);
+    // The partition walk itself is serial host work.
+    recordSerial(ctx, "lb_partition", static_cast<double>(blocks.size()));
+
+    double total_cost = 0;
+    for (const auto& block : blocks)
+        total_cost += block->cost();
+    const double target = total_cost / nranks;
+
+    // Greedy prefix partition over the Z-ordered list: rank r takes
+    // blocks until the running cost passes (r+1) * target, but never
+    // starves trailing ranks of remaining blocks.
+    std::vector<int> new_rank(blocks.size(), 0);
+    double cum = 0;
+    int rank = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const std::size_t remaining = blocks.size() - b;
+        const int ranks_left = nranks - rank;
+        if (static_cast<std::size_t>(ranks_left) >= remaining) {
+            // One block per remaining rank.
+            rank = nranks - static_cast<int>(remaining);
+        }
+        new_rank[b] = rank;
+        cum += blocks[b]->cost();
+        if (cum >= target * (rank + 1) && rank + 1 < nranks)
+            ++rank;
+    }
+
+    std::vector<double> rank_cost(nranks, 0.0);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        MeshBlock& block = *blocks[b];
+        rank_cost[new_rank[b]] += block.cost();
+        if (block.rank() != new_rank[b]) {
+            ++stats.movedBlocks;
+            const double bytes =
+                static_cast<double>(block.dataBytes());
+            stats.movedBytes += bytes;
+            world.accountTransfer(block.rank(), new_rank[b], bytes);
+            block.setRank(new_rank[b]);
+        }
+    }
+
+    stats.maxRankCost =
+        *std::max_element(rank_cost.begin(), rank_cost.end());
+    stats.meanRankCost = total_cost / nranks;
+    return stats;
+}
+
+} // namespace vibe

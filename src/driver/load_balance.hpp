@@ -1,0 +1,40 @@
+/**
+ * @file load_balance.hpp
+ * Cost-based block-to-rank assignment (part of
+ * RedistributeAndRefineMeshBlocks, paper §II-E).
+ *
+ * Parthenon assigns contiguous runs of the Z-ordered block list to
+ * ranks so per-rank cost is balanced; blocks whose rank changes are
+ * shipped over MPI using the ghost-exchange machinery. We reproduce
+ * the same greedy prefix partition and account the shipped bytes.
+ */
+#pragma once
+
+#include "comm/rank_world.hpp"
+#include "mesh/mesh.hpp"
+
+namespace vibe {
+
+/** Outcome of one load-balancing pass. */
+struct LoadBalanceStats
+{
+    int movedBlocks = 0;      ///< Blocks whose owner rank changed.
+    double movedBytes = 0;    ///< Data shipped for those moves.
+    double maxRankCost = 0;   ///< Heaviest rank's total cost.
+    double meanRankCost = 0;  ///< Average rank cost.
+
+    /** max/mean cost ratio; 1.0 is perfectly balanced. */
+    double imbalance() const
+    {
+        return meanRankCost > 0 ? maxRankCost / meanRankCost : 1.0;
+    }
+};
+
+/**
+ * Greedy Z-order prefix partition of blocks over `world.nranks()`
+ * ranks using per-block costs; ships re-homed blocks (accounted as
+ * remote traffic) and records the serial partitioning work.
+ */
+LoadBalanceStats loadBalance(Mesh& mesh, RankWorld& world);
+
+} // namespace vibe

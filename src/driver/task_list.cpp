@@ -1,0 +1,59 @@
+#include "driver/task_list.hpp"
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+TaskId
+TaskList::addTask(std::string name, TaskFn fn, std::vector<TaskId> deps)
+{
+    for (TaskId dep : deps)
+        require(dep >= 0 && dep < static_cast<TaskId>(tasks_.size()),
+                "task '", name, "' depends on unknown task id ", dep);
+    tasks_.push_back({std::move(name), std::move(fn), std::move(deps),
+                      false});
+    return static_cast<TaskId>(tasks_.size()) - 1;
+}
+
+void
+TaskList::execute(int max_passes)
+{
+    completion_order_.clear();
+    for (auto& task : tasks_)
+        task.complete = false;
+
+    std::size_t done = 0;
+    for (int pass = 0; pass < max_passes && done < tasks_.size();
+         ++pass) {
+        bool any_ran = false;
+        for (auto& task : tasks_) {
+            if (task.complete)
+                continue;
+            bool ready = true;
+            for (TaskId dep : task.deps)
+                if (!tasks_[dep].complete) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                continue;
+            any_ran = true;
+            if (task.fn() == TaskStatus::Complete) {
+                task.complete = true;
+                completion_order_.push_back(task.name);
+                ++done;
+            }
+        }
+        if (!any_ran && done < tasks_.size()) {
+            // Nothing is runnable yet incomplete tasks remain: a
+            // dependency cycle. (Polling tasks that merely Iterate are
+            // handled by the max_passes bound below.)
+            panic("task list deadlocked with ", tasks_.size() - done,
+                  " incomplete tasks");
+        }
+    }
+    require(done == tasks_.size(), "task list did not complete within ",
+            max_passes, " passes");
+}
+
+} // namespace vibe

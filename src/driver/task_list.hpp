@@ -1,0 +1,71 @@
+/**
+ * @file task_list.hpp
+ * Hierarchical task-based execution (paper §II-C): Parthenon sequences
+ * each timestep stage as a dependency graph of tasks; polling tasks
+ * (e.g. ReceiveBoundBufs) may return Iterate to be re-run until their
+ * communication completes.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vibe {
+
+/** Result of running one task once. */
+enum class TaskStatus
+{
+    Complete, ///< Done; dependents may now run.
+    Iterate,  ///< Not finished (e.g. waiting on messages); re-run later.
+};
+
+using TaskId = int;
+using TaskFn = std::function<TaskStatus()>;
+
+/**
+ * A single-threaded task graph executor with Parthenon-style
+ * semantics. Execution repeatedly scans for runnable tasks (all
+ * dependencies complete) until every task has completed; a cycle or a
+ * permanently-Iterate task triggers an error after a bound on passes.
+ */
+class TaskList
+{
+  public:
+    /**
+     * Add a task.
+     * @param deps Tasks that must complete before this one runs.
+     * @return Id usable as a dependency for later tasks.
+     */
+    TaskId addTask(std::string name, TaskFn fn,
+                   std::vector<TaskId> deps = {});
+
+    /** Number of tasks added. */
+    std::size_t size() const { return tasks_.size(); }
+
+    /**
+     * Run all tasks to completion.
+     * @param max_passes Safety bound on full scans (default generous).
+     */
+    void execute(int max_passes = 1000);
+
+    /** Names in completion order of the last execute() call. */
+    const std::vector<std::string>& completionOrder() const
+    {
+        return completion_order_;
+    }
+
+  private:
+    struct Task
+    {
+        std::string name;
+        TaskFn fn;
+        std::vector<TaskId> deps;
+        bool complete = false;
+    };
+
+    std::vector<Task> tasks_;
+    std::vector<std::string> completion_order_;
+};
+
+} // namespace vibe

@@ -1,0 +1,64 @@
+/**
+ * @file exec_context.hpp
+ * Execution-space abstraction and run-wide execution context.
+ *
+ * Mirrors the role Kokkos plays for Parthenon: compute kernels are
+ * expressed as `parFor` loops (exec/par_for.hpp) over index ranges, and
+ * everything outside those loops is "serial portion" by the paper's
+ * definition (§II-C). The context selects whether kernel bodies actually
+ * execute (numeric mode) or are skipped while their work is recorded
+ * (counting mode, used by the large performance studies), and carries
+ * the profiler/tracker instrumentation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vibe {
+
+class KernelProfiler;
+class MemoryTracker;
+
+/** Where a kernel logically executes (for performance-model attribution). */
+enum class ExecSpace { Host, Device };
+
+/** Whether kernel bodies run or are only accounted. */
+enum class ExecMode { Execute, Count };
+
+/**
+ * Run-wide execution context threaded through mesh, comm, solver and
+ * driver. Non-owning: profiler and tracker outlive the context.
+ */
+class ExecContext
+{
+  public:
+    ExecContext(ExecMode mode, KernelProfiler* profiler,
+                MemoryTracker* tracker)
+        : mode_(mode), profiler_(profiler), tracker_(tracker)
+    {
+    }
+
+    ExecMode mode() const { return mode_; }
+    bool executing() const { return mode_ == ExecMode::Execute; }
+
+    KernelProfiler* profiler() const { return profiler_; }
+    MemoryTracker* tracker() const { return tracker_; }
+
+    /** MPI rank the currently processed block belongs to. */
+    int currentRank() const { return current_rank_; }
+    /**
+     * Set the rank attributed to subsequent records. Const so the
+     * context can be shared read-mostly; rank attribution is
+     * instrumentation state, not execution state.
+     */
+    void setCurrentRank(int rank) const { current_rank_ = rank; }
+
+  private:
+    ExecMode mode_;
+    KernelProfiler* profiler_;
+    MemoryTracker* tracker_;
+    mutable int current_rank_ = 0;
+};
+
+} // namespace vibe

@@ -1,0 +1,84 @@
+#include "exec/kernel_profiler.hpp"
+
+namespace vibe {
+
+void
+KernelProfiler::record(const KernelRecord& record)
+{
+    KernelStats& stats =
+        kernels_[{record.phase.empty() ? phase_ : record.phase,
+                  record.name}];
+    stats.launches += record.launches;
+    stats.items += record.items;
+    stats.flops += record.flops;
+    stats.bytes += record.bytes;
+    stats.innermostSum +=
+        record.innermost * static_cast<double>(record.launches);
+    stats.itemsByRank[record.rank] += record.items;
+}
+
+void
+KernelProfiler::recordSerial(const SerialRecord& record)
+{
+    SerialStats& stats =
+        serial_[{record.phase.empty() ? phase_ : record.phase,
+                 record.category}];
+    stats.items += record.items;
+    stats.itemsByRank[record.rank] += record.items;
+}
+
+double
+KernelProfiler::totalItems() const
+{
+    double total = 0;
+    for (const auto& [key, stats] : kernels_)
+        total += stats.items;
+    return total;
+}
+
+std::uint64_t
+KernelProfiler::totalLaunches() const
+{
+    std::uint64_t total = 0;
+    for (const auto& [key, stats] : kernels_)
+        total += stats.launches;
+    return total;
+}
+
+KernelStats
+KernelProfiler::kernelByName(const std::string& name) const
+{
+    KernelStats out;
+    for (const auto& [key, stats] : kernels_) {
+        if (key.second != name)
+            continue;
+        out.launches += stats.launches;
+        out.items += stats.items;
+        out.flops += stats.flops;
+        out.bytes += stats.bytes;
+        out.innermostSum += stats.innermostSum;
+        for (const auto& [rank, items] : stats.itemsByRank)
+            out.itemsByRank[rank] += items;
+    }
+    return out;
+}
+
+double
+KernelProfiler::serialByCategory(const std::string& category) const
+{
+    double total = 0;
+    for (const auto& [key, stats] : serial_)
+        if (key.second == category)
+            total += stats.items;
+    return total;
+}
+
+void
+KernelProfiler::reset()
+{
+    kernels_.clear();
+    serial_.clear();
+    phase_ = "Initialise";
+}
+
+} // namespace vibe

@@ -1,0 +1,137 @@
+/**
+ * @file kernel_profiler.hpp
+ * Kokkos-Tools-style kernel instrumentation.
+ *
+ * Every `parFor` launch reports its label, work extents, flop and byte
+ * counts; the profiler aggregates them per (phase, kernel) and per rank.
+ * The paper's timing analysis (Figs. 9, 11, 12), microarchitecture table
+ * (Table III) and opcode model (Fig. 13) are all computed from this
+ * event stream by the perfmodel module.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vibe {
+
+/** One recorded kernel launch (or a batch of identical launches). */
+struct KernelRecord
+{
+    std::string name;        ///< Kernel label, e.g. "CalculateFluxes".
+    std::string phase;       ///< Timestep phase (Fig. 3 function).
+    int rank = 0;            ///< Owning MPI rank of the processed block.
+    std::uint64_t launches = 1; ///< Number of kernel launches.
+    double items = 0;        ///< Total loop iterations (cell updates).
+    double flops = 0;        ///< Floating-point operations.
+    double bytes = 0;        ///< Ideal bytes moved to/from memory.
+    /** Innermost contiguous extent per launch (drives warp modeling). */
+    double innermost = 0;
+};
+
+/** Aggregated statistics for one (phase, kernel) pair. */
+struct KernelStats
+{
+    std::uint64_t launches = 0;
+    double items = 0;
+    double flops = 0;
+    double bytes = 0;
+    /** Sum over launches of the innermost extent (for averaging). */
+    double innermostSum = 0;
+    /** Work items attributed to each rank. */
+    std::map<int, double> itemsByRank;
+
+    double avgInnermost() const
+    {
+        return launches ? innermostSum / static_cast<double>(launches) : 0;
+    }
+};
+
+/** Serial (non-kernel) work event, counted rather than timed. */
+struct SerialRecord
+{
+    std::string phase;      ///< Timestep phase.
+    std::string category;   ///< e.g. "string_lookup", "sort_keys".
+    int rank = 0;
+    double items = 0;       ///< Category-specific unit count.
+};
+
+/**
+ * Aggregating sink for kernel and serial work events.
+ *
+ * Aggregation keys are (phase, name); per-rank item counts are retained
+ * so the rank-scaling model can compute per-rank maxima.
+ */
+class KernelProfiler
+{
+  public:
+    void record(const KernelRecord& record);
+    void recordSerial(const SerialRecord& record);
+
+    /** Set the phase label attributed to subsequent records. */
+    void setPhase(std::string phase) { phase_ = std::move(phase); }
+    const std::string& phase() const { return phase_; }
+
+    using KernelKey = std::pair<std::string, std::string>; // (phase, name)
+
+    const std::map<KernelKey, KernelStats>& kernels() const
+    {
+        return kernels_;
+    }
+
+    /** Serial item counts keyed by (phase, category), plus per rank. */
+    struct SerialStats
+    {
+        double items = 0;
+        std::map<int, double> itemsByRank;
+    };
+    const std::map<KernelKey, SerialStats>& serial() const
+    {
+        return serial_;
+    }
+
+    /** Total kernel work items across all phases. */
+    double totalItems() const;
+    /** Total kernel launches across all phases. */
+    std::uint64_t totalLaunches() const;
+    /** Kernel stats summed over phases for a given kernel name. */
+    KernelStats kernelByName(const std::string& name) const;
+    /** Serial items summed over phases for a given category. */
+    double serialByCategory(const std::string& category) const;
+
+    void reset();
+
+  private:
+    std::string phase_ = "Initialise";
+    std::map<KernelKey, KernelStats> kernels_;
+    std::map<KernelKey, SerialStats> serial_;
+};
+
+/** RAII phase scope: restores the previous phase label on destruction. */
+class PhaseScope
+{
+  public:
+    PhaseScope(KernelProfiler* profiler, std::string phase)
+        : profiler_(profiler)
+    {
+        if (profiler_) {
+            previous_ = profiler_->phase();
+            profiler_->setPhase(std::move(phase));
+        }
+    }
+    ~PhaseScope()
+    {
+        if (profiler_)
+            profiler_->setPhase(previous_);
+    }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+  private:
+    KernelProfiler* profiler_;
+    std::string previous_;
+};
+
+} // namespace vibe

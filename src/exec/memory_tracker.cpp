@@ -1,0 +1,56 @@
+#include "exec/memory_tracker.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+void
+MemoryTracker::allocate(const std::string& label, std::size_t bytes)
+{
+    current_by_label_[label] += bytes;
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+    peak_by_label_[label] =
+        std::max(peak_by_label_[label], current_by_label_[label]);
+    ++allocation_calls_;
+}
+
+void
+MemoryTracker::deallocate(const std::string& label, std::size_t bytes)
+{
+    auto it = current_by_label_.find(label);
+    require(it != current_by_label_.end() && it->second >= bytes,
+            "MemoryTracker: deallocating ", bytes, " bytes from label '",
+            label, "' which holds ",
+            it == current_by_label_.end() ? 0 : it->second);
+    it->second -= bytes;
+    current_ -= bytes;
+}
+
+std::size_t
+MemoryTracker::labelBytes(const std::string& label) const
+{
+    auto it = current_by_label_.find(label);
+    return it == current_by_label_.end() ? 0 : it->second;
+}
+
+std::size_t
+MemoryTracker::labelPeakBytes(const std::string& label) const
+{
+    auto it = peak_by_label_.find(label);
+    return it == peak_by_label_.end() ? 0 : it->second;
+}
+
+void
+MemoryTracker::reset()
+{
+    current_by_label_.clear();
+    peak_by_label_.clear();
+    current_ = 0;
+    peak_ = 0;
+    allocation_calls_ = 0;
+}
+
+} // namespace vibe

@@ -1,0 +1,127 @@
+/**
+ * @file par_for.hpp
+ * Kokkos-style named parallel loops with work accounting.
+ *
+ * Every compute kernel in the solver and comm layers is expressed as a
+ * `parFor` over an index range. The caller supplies per-item flop/byte
+ * costs (the solver knows its own arithmetic); the launch is recorded in
+ * the profiler, and the body is executed only in numeric mode. This is
+ * the boundary the paper uses to split "Kokkos kernel" time from the
+ * "serial portion" (§II-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exec/exec_context.hpp"
+#include "exec/kernel_profiler.hpp"
+
+namespace vibe {
+
+/** Per-work-item cost declaration for a kernel. */
+struct KernelCosts
+{
+    double flopsPerItem = 0;
+    double bytesPerItem = 0;
+};
+
+/**
+ * 1-D named kernel over [il, iu] inclusive.
+ *
+ * @param ctx     Execution context (mode + instrumentation).
+ * @param name    Kernel label (shows up in Table III / Fig. 12).
+ * @param costs   Per-item flop/byte costs for the performance model.
+ * @param il,iu   Inclusive index bounds.
+ * @param body    Callable (int i).
+ */
+template <typename F>
+void
+parFor(const ExecContext& ctx, const std::string& name,
+       const KernelCosts& costs, int il, int iu, F&& body)
+{
+    const double items = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
+                                items, items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, items});
+    }
+    if (ctx.executing())
+        for (int i = il; i <= iu; ++i)
+            body(i);
+}
+
+/** 3-D named kernel over [kl,ku] x [jl,ju] x [il,iu], innermost i. */
+template <typename F>
+void
+parFor(const ExecContext& ctx, const std::string& name,
+       const KernelCosts& costs, int kl, int ku, int jl, int ju, int il,
+       int iu, F&& body)
+{
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    const double items = nk * nj * ni;
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
+                                items, items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, ni});
+    }
+    if (ctx.executing())
+        for (int k = kl; k <= ku; ++k)
+            for (int j = jl; j <= ju; ++j)
+                for (int i = il; i <= iu; ++i)
+                    body(k, j, i);
+}
+
+/** 4-D named kernel with a leading variable index [nl,nu]. */
+template <typename F>
+void
+parFor(const ExecContext& ctx, const std::string& name,
+       const KernelCosts& costs, int nl, int nu, int kl, int ku, int jl,
+       int ju, int il, int iu, F&& body)
+{
+    const double nn = nu >= nl ? static_cast<double>(nu - nl + 1) : 0.0;
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    const double items = nn * nk * nj * ni;
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
+                                items, items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, ni});
+    }
+    if (ctx.executing())
+        for (int n = nl; n <= nu; ++n)
+            for (int k = kl; k <= ku; ++k)
+                for (int j = jl; j <= ju; ++j)
+                    for (int i = il; i <= iu; ++i)
+                        body(n, k, j, i);
+}
+
+/**
+ * Record a kernel launch whose body is executed elsewhere (used for
+ * batched pack/unpack where the loop structure is irregular).
+ */
+inline void
+recordKernel(const ExecContext& ctx, const std::string& name, double items,
+             const KernelCosts& costs, double innermost)
+{
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
+                                items, items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, innermost});
+    }
+}
+
+/** Record serial (non-kernel) work items of a named category. */
+inline void
+recordSerial(const ExecContext& ctx, const std::string& category,
+             double items)
+{
+    if (ctx.profiler())
+        ctx.profiler()->recordSerial(
+            {std::string(), category, ctx.currentRank(), items});
+}
+
+} // namespace vibe

@@ -1,0 +1,91 @@
+#include "mesh/logical_location.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+LogicalLocation
+LogicalLocation::parent() const
+{
+    require(level > 0, "level-0 block has no parent");
+    return {level - 1, lx1 >> 1, lx2 >> 1, lx3 >> 1};
+}
+
+LogicalLocation
+LogicalLocation::child(int ox1, int ox2, int ox3) const
+{
+    require(ox1 >= 0 && ox1 <= 1 && ox2 >= 0 && ox2 <= 1 && ox3 >= 0 &&
+                ox3 <= 1,
+            "child octant selectors must be 0 or 1");
+    return {level + 1, 2 * lx1 + ox1, 2 * lx2 + ox2, 2 * lx3 + ox3};
+}
+
+int
+LogicalLocation::childIndexInParent() const
+{
+    return static_cast<int>((lx1 & 1) | ((lx2 & 1) << 1) | ((lx3 & 1) << 2));
+}
+
+bool
+LogicalLocation::contains(const LogicalLocation& other) const
+{
+    if (other.level < level)
+        return false;
+    const int shift = other.level - level;
+    return (other.lx1 >> shift) == lx1 && (other.lx2 >> shift) == lx2 &&
+           (other.lx3 >> shift) == lx3;
+}
+
+std::uint64_t
+mortonInterleave(std::uint64_t x, std::uint64_t y, std::uint64_t z)
+{
+    auto spread = [](std::uint64_t v) {
+        // Spread the low 21 bits of v so consecutive bits are 3 apart.
+        v &= 0x1fffff;
+        v = (v | (v << 32)) & 0x1f00000000ffffull;
+        v = (v | (v << 16)) & 0x1f0000ff0000ffull;
+        v = (v | (v << 8)) & 0x100f00f00f00f00full;
+        v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+        v = (v | (v << 2)) & 0x1249249249249249ull;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+std::uint64_t
+LogicalLocation::mortonKey(int reference_level) const
+{
+    require(reference_level >= level,
+            "mortonKey reference level must be >= block level");
+    const int shift = reference_level - level;
+    return mortonInterleave(static_cast<std::uint64_t>(lx1) << shift,
+                            static_cast<std::uint64_t>(lx2) << shift,
+                            static_cast<std::uint64_t>(lx3) << shift);
+}
+
+std::string
+LogicalLocation::str() const
+{
+    std::ostringstream oss;
+    oss << "(L" << level << ": " << lx1 << "," << lx2 << "," << lx3 << ")";
+    return oss.str();
+}
+
+std::size_t
+LogicalLocationHash::operator()(const LogicalLocation& loc) const
+{
+    // Combine the level with the per-level Morton code; blocks at
+    // different levels with the same indices must hash differently.
+    std::uint64_t h = mortonInterleave(static_cast<std::uint64_t>(loc.lx1),
+                                       static_cast<std::uint64_t>(loc.lx2),
+                                       static_cast<std::uint64_t>(loc.lx3));
+    h ^= static_cast<std::uint64_t>(loc.level) * 0x9e3779b97f4a7c15ull;
+    // Final avalanche (splitmix64 tail).
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+}
+
+} // namespace vibe

@@ -1,0 +1,70 @@
+/**
+ * @file logical_location.hpp
+ * Logical position of a MeshBlock in the refinement forest.
+ *
+ * A LogicalLocation is (level, lx1, lx2, lx3): at refinement level L the
+ * base grid of blocks is subdivided 2^L times per dimension, and lx*
+ * index the block within that level's virtual grid. Level 0 is the base
+ * ("physical level 0" in the paper's Fig. 2); deeper levels are produced
+ * by refinement. Each parent subdivides into 2/4/8 children in 1/2/3-D
+ * (binary tree / quadtree / octree).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vibe {
+
+/** Position of a block in the AMR forest. */
+struct LogicalLocation
+{
+    int level = 0;
+    std::int64_t lx1 = 0;
+    std::int64_t lx2 = 0;
+    std::int64_t lx3 = 0;
+
+    friend bool operator==(const LogicalLocation&,
+                           const LogicalLocation&) = default;
+
+    /** Parent location one level up. Requires level > 0. */
+    LogicalLocation parent() const;
+
+    /**
+     * Child location one level down.
+     *
+     * @param ox1,ox2,ox3 Child octant selectors in {0, 1}.
+     */
+    LogicalLocation child(int ox1, int ox2, int ox3) const;
+
+    /** Which octant of its parent this location occupies, in {0,1}^3. */
+    int childIndexInParent() const;
+
+    /** True if this location is a (strict or equal) ancestor of `other`. */
+    bool contains(const LogicalLocation& other) const;
+
+    /**
+     * Morton (Z-order) key at a reference level.
+     *
+     * Leaves mapped to their fine-level corner produce a total order that
+     * follows the Z space-filling curve; Parthenon uses this order for
+     * block lists and load balancing. @pre reference_level >= level.
+     */
+    std::uint64_t mortonKey(int reference_level) const;
+
+    /** Human-readable form "(L2: 3,1,0)" for diagnostics. */
+    std::string str() const;
+};
+
+/** Hash functor so locations can key unordered containers. */
+struct LogicalLocationHash
+{
+    std::size_t operator()(const LogicalLocation& loc) const;
+};
+
+/** Interleave the low 21 bits of x,y,z into a 63-bit Morton code. */
+std::uint64_t mortonInterleave(std::uint64_t x, std::uint64_t y,
+                               std::uint64_t z);
+
+} // namespace vibe

@@ -1,0 +1,185 @@
+/**
+ * @file mesh.hpp
+ * The Mesh: a 2:1-balanced forest of MeshBlocks tiling the domain.
+ *
+ * Owns the BlockTree, the Z-ordered block list, per-block neighbor
+ * lists, and the block lifecycle across AMR updates (creation of
+ * children on refinement, merging on derefinement). Data movement
+ * between old and new blocks (prolongation/restriction) is performed by
+ * the driver through the Restructure record returned from
+ * applyTreeUpdate, keeping numerical operators out of the mesh layer.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/exec_context.hpp"
+#include "mesh/block_tree.hpp"
+#include "mesh/mesh_block.hpp"
+#include "mesh/variable.hpp"
+#include "util/parameter_input.hpp"
+
+namespace vibe {
+
+/** User-facing mesh configuration (paper §II-F parameters). */
+struct MeshConfig
+{
+    int ndim = 3;
+    int nx1 = 64, nx2 = 64, nx3 = 64;    ///< Base-level cells per dim.
+    int blockNx1 = 16, blockNx2 = 16, blockNx3 = 16; ///< MeshBlockSize.
+    int numGhost = 4;                     ///< 4 for WENO5 (§VIII-B).
+    /**
+     * The paper's "#AMR Levels": total mesh levels including the base,
+     * so 1 means a uniform mesh and L allows L-1 refinement generations.
+     */
+    int amrLevels = 3;
+    bool periodic = true;
+    double x1min = 0.0, x1max = 1.0;      ///< Cubic domain extent.
+    /** Use the §VIII-B shared reconstruction scratch layout. */
+    bool optimizeAuxMemory = false;
+
+    /** Read <mesh>/<meshblock>/<amr> sections of an input deck. */
+    static MeshConfig fromParams(const ParameterInput& pin);
+
+    /** Enforce the §II-F rules (divisibility, positive sizes, ...). */
+    void validate() const;
+
+    /** Tree description implied by this configuration. */
+    TreeConfig treeConfig() const;
+
+    /** Cell shape shared by every block. */
+    BlockShape blockShape() const;
+
+    /** Base-grid block counts per dimension. */
+    std::int64_t nbx1() const { return nx1 / blockNx1; }
+    std::int64_t nbx2() const { return ndim >= 2 ? nx2 / blockNx2 : 1; }
+    std::int64_t nbx3() const { return ndim >= 3 ? nx3 / blockNx3 : 1; }
+};
+
+/** A neighbor entry in a block's neighbor list. */
+struct NeighborBlock
+{
+    MeshBlock* block = nullptr;
+    int ox1 = 0, ox2 = 0, ox3 = 0; ///< Direction from the owning block.
+    int levelDiff = 0;             ///< neighbor level - own level (-1/0/1).
+};
+
+/**
+ * The mesh. Blocks are stored in Z-order; gids are indices into that
+ * order and are renumbered after every restructure, as in Parthenon.
+ */
+class Mesh
+{
+  public:
+    /**
+     * Build the base (level-0) mesh.
+     *
+     * @param registry Variable declarations; must outlive the mesh.
+     * @param ctx      Execution context; must outlive the mesh.
+     */
+    Mesh(const MeshConfig& config, const VariableRegistry& registry,
+         const ExecContext& ctx);
+
+    const MeshConfig& config() const { return config_; }
+    const VariableRegistry& registry() const { return *registry_; }
+    const ExecContext& ctx() const { return *ctx_; }
+
+    BlockTree& tree() { return tree_; }
+    const BlockTree& tree() const { return tree_; }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    MeshBlock& block(int gid) { return *blocks_.at(gid); }
+    const MeshBlock& block(int gid) const { return *blocks_.at(gid); }
+    const std::vector<std::unique_ptr<MeshBlock>>& blocks() const
+    {
+        return blocks_;
+    }
+
+    /** Block at a logical location, or nullptr if not a current leaf. */
+    MeshBlock* find(const LogicalLocation& loc);
+
+    /** Neighbor list of block `gid` (valid until next restructure). */
+    const std::vector<NeighborBlock>& neighbors(int gid) const
+    {
+        return neighbor_lists_.at(gid);
+    }
+
+    /** Physical geometry of a block at `loc`. */
+    BlockGeometry geometryFor(const LogicalLocation& loc) const;
+
+    /** Sum of interior cells over all blocks. */
+    std::int64_t totalInteriorCells() const;
+
+    /** Deepest level among current blocks. */
+    int maxPresentLevel() const { return tree_.maxPresentLevel(); }
+
+    /**
+     * Run one tree update from refinement flags (UpdateMeshBlockTree).
+     * Structure only; call applyTreeUpdate to realize block changes.
+     */
+    BlockTree::UpdateResult updateTree(const RefinementFlagMap& flags);
+
+    /** Record of one restructure for data prolongation/restriction. */
+    struct Restructure
+    {
+        struct Refined
+        {
+            /** The coarse block that was split (data still intact). */
+            std::unique_ptr<MeshBlock> parent;
+            /** Newly created children, in child-octant order. */
+            std::vector<MeshBlock*> children;
+        };
+        struct Derefined
+        {
+            /** Newly created coarse block. */
+            MeshBlock* parent = nullptr;
+            /** The former children (data still intact). */
+            std::vector<std::unique_ptr<MeshBlock>> children;
+        };
+        std::vector<Refined> refined;
+        std::vector<Derefined> derefined;
+    };
+
+    /**
+     * Realize a tree update on the block list: create children/parents,
+     * retire old blocks, renumber gids in Z-order and rebuild neighbor
+     * lists. Ranks are inherited (children from parent, parent from
+     * first child) until the load balancer reassigns them.
+     *
+     * @param current_cycle Stamped on newly created blocks.
+     */
+    Restructure applyTreeUpdate(const BlockTree::UpdateResult& update,
+                                std::int64_t current_cycle);
+
+    /**
+     * Rebuild all neighbor lists from the tree
+     * (SetMeshBlockNeighbors); counted as serial work.
+     */
+    void rebuildNeighbors();
+
+    /** Total neighbor-list entries (comm-graph size). */
+    std::size_t totalNeighborLinks() const;
+
+  private:
+    std::unique_ptr<MeshBlock> makeBlock(const LogicalLocation& loc);
+    /** Sort blocks in Z-order, renumber gids, refresh the index. */
+    void renumber();
+
+    MeshConfig config_;
+    const VariableRegistry* registry_;
+    const ExecContext* ctx_;
+    BlockTree tree_;
+    std::vector<std::unique_ptr<MeshBlock>> blocks_;
+    std::unordered_map<LogicalLocation, int, LogicalLocationHash>
+        loc_to_gid_;
+    std::vector<std::vector<NeighborBlock>> neighbor_lists_;
+
+    /** Shared reconstruction scratch (§VIII-B layout), if enabled. */
+    RealArray4 shared_recon_l_[3], shared_recon_r_[3];
+    std::size_t recon_pool_bytes_ = 0;
+};
+
+} // namespace vibe

@@ -1,0 +1,99 @@
+#include "mesh/mesh_block.hpp"
+
+#include "exec/memory_tracker.hpp"
+#include "util/logging.hpp"
+
+namespace vibe {
+
+MeshBlock::MeshBlock(const LogicalLocation& loc, const BlockShape& shape,
+                     const BlockGeometry& geom,
+                     const VariableRegistry& registry,
+                     const ExecContext& ctx, bool own_recon)
+    : loc_(loc), shape_(shape), geom_(geom), registry_(&registry),
+      tracker_(ctx.tracker()),
+      mode_(ctx.executing() ? DataMode::Real : DataMode::Virtual)
+{
+    cost_ = static_cast<double>(shape_.interiorCells());
+    allocateAll(ctx, own_recon);
+}
+
+MeshBlock::~MeshBlock()
+{
+    if (tracker_)
+        for (const auto& [label, bytes] : registered_)
+            tracker_->deallocate(label, bytes);
+}
+
+void
+MeshBlock::registerAllocation(const ExecContext& ctx,
+                              const std::string& label, std::size_t bytes)
+{
+    data_bytes_ += bytes;
+    if (ctx.tracker()) {
+        ctx.tracker()->allocate(label, bytes);
+        registered_.emplace_back(label, bytes);
+    }
+}
+
+void
+MeshBlock::allocateAll(const ExecContext& ctx, bool own_recon)
+{
+    const int ncons = registry_->ncompConserved();
+    const int nder = registry_->ncompDerived();
+    const int ni = shape_.ni();
+    const int nj = shape_.nj();
+    const int nk = shape_.nk();
+    const auto cell_bytes = [&](int nvar, int dk, int dj, int di) {
+        return static_cast<std::size_t>(nvar) * (nk + dk) * (nj + dj) *
+               (ni + di) * sizeof(double);
+    };
+
+    if (mode_ == DataMode::Real) {
+        cons_ = RealArray4(ncons, nk, nj, ni);
+        cons0_ = RealArray4(ncons, nk, nj, ni);
+        dudt_ = RealArray4(ncons, nk, nj, ni);
+        derived_ = RealArray4(nder, nk, nj, ni);
+        flux_[0] = RealArray4(ncons, nk, nj, ni + 1);
+        if (shape_.ndim >= 2)
+            flux_[1] = RealArray4(ncons, nk, nj + 1, ni);
+        if (shape_.ndim >= 3)
+            flux_[2] = RealArray4(ncons, nk + 1, nj, ni);
+        if (own_recon) {
+            for (int d = 0; d < shape_.ndim; ++d) {
+                recon_l_owned_[d] = RealArray4(ncons, nk, nj, ni);
+                recon_r_owned_[d] = RealArray4(ncons, nk, nj, ni);
+                recon_l_[d] = &recon_l_owned_[d];
+                recon_r_[d] = &recon_r_owned_[d];
+            }
+        }
+    }
+
+    registerAllocation(ctx, "mesh/cons", cell_bytes(ncons, 0, 0, 0));
+    registerAllocation(ctx, "mesh/cons0", cell_bytes(ncons, 0, 0, 0));
+    registerAllocation(ctx, "mesh/dudt", cell_bytes(ncons, 0, 0, 0));
+    registerAllocation(ctx, "mesh/derived", cell_bytes(nder, 0, 0, 0));
+    registerAllocation(ctx, "mesh/flux", cell_bytes(ncons, 0, 0, 1));
+    if (shape_.ndim >= 2)
+        registerAllocation(ctx, "mesh/flux", cell_bytes(ncons, 0, 1, 0));
+    if (shape_.ndim >= 3)
+        registerAllocation(ctx, "mesh/flux", cell_bytes(ncons, 1, 0, 0));
+    if (own_recon) {
+        // The paper's auxiliary-variable term (§VIII-B): two face states
+        // per direction at full block resolution.
+        registerAllocation(
+            ctx, "mesh/recon",
+            static_cast<std::size_t>(2 * shape_.ndim) *
+                cell_bytes(ncons, 0, 0, 0));
+    }
+}
+
+void
+MeshBlock::lendRecon(RealArray4* l[3], RealArray4* r[3])
+{
+    for (int d = 0; d < 3; ++d) {
+        recon_l_[d] = l[d];
+        recon_r_[d] = r[d];
+    }
+}
+
+} // namespace vibe

@@ -1,0 +1,39 @@
+/**
+ * @file prolong_restrict.hpp
+ * Inter-level data operators: restriction (fine -> coarse volume
+ * average) and prolongation (coarse -> fine slope-limited linear
+ * interpolation).
+ *
+ * Used in three places, mirroring Parthenon: (1) when AMR creates or
+ * retires blocks (RedistributeAndRefineMeshBlocks), (2) restriction of
+ * boundary data before fine->coarse sends (SendBoundBufs), and
+ * (3) prolongation of received coarse slabs into fine ghosts
+ * (SetBounds). Restriction is exactly conservative; prolongation uses
+ * minmod-limited slopes and preserves the coarse mean in each cell.
+ */
+#pragma once
+
+#include "exec/exec_context.hpp"
+#include "mesh/mesh_block.hpp"
+
+namespace vibe {
+
+/** minmod(a, b): 0 on sign disagreement, else the smaller magnitude. */
+double minmod(double a, double b);
+
+/**
+ * Volume-average the full interior of `child` into the octant of
+ * `parent` it covers. Kernel name "ProlongRestrictLoop".
+ */
+void restrictChildToParent(const ExecContext& ctx, const MeshBlock& child,
+                           MeshBlock& parent);
+
+/**
+ * Fill the full interior of `child` by limited linear interpolation of
+ * the `parent` octant covering it. Parent ghost cells supply edge
+ * slopes. Kernel name "ProlongRestrictLoop".
+ */
+void prolongateParentToChild(const ExecContext& ctx,
+                             const MeshBlock& parent, MeshBlock& child);
+
+} // namespace vibe

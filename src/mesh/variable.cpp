@@ -1,0 +1,102 @@
+#include "mesh/variable.hpp"
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+void
+VariableRegistry::add(VariableMetadata metadata)
+{
+    require(metadata.ncomp >= 1, "variable '", metadata.name,
+            "' must have at least one component");
+    for (const auto& existing : variables_)
+        if (existing.name == metadata.name)
+            fatal("duplicate variable '", metadata.name, "'");
+    const bool independent = (metadata.flags & kIndependent) != 0;
+    const bool derived = (metadata.flags & kDerived) != 0;
+    require(independent != derived, "variable '", metadata.name,
+            "' must be exactly one of Independent or Derived");
+    variables_.push_back(std::move(metadata));
+    pack_cache_.clear(); // offsets may shift
+}
+
+int
+VariableRegistry::ncompWithFlags(unsigned mask) const
+{
+    int total = 0;
+    for (const auto& v : variables_)
+        if (v.hasAll(mask))
+            total += v.ncomp;
+    return total;
+}
+
+const VariablePack&
+VariableRegistry::packByFlags(unsigned mask) const
+{
+    ++lookup_calls_;
+    for (const auto& cached : pack_cache_)
+        if (cached.first == mask)
+            return cached.second;
+
+    // Cache miss: scan the registry. Offsets are computed within the
+    // variable's home pack (conserved for Independent, derived pack for
+    // Derived); mixed-flag masks are resolved against the home pack of
+    // each matching variable.
+    VariablePack pack;
+    int cons_offset = 0;
+    int derived_offset = 0;
+    for (const auto& v : variables_) {
+        string_compares_ += 1; // flag check models one metadata compare
+        const bool independent = (v.flags & kIndependent) != 0;
+        int& home_offset = independent ? cons_offset : derived_offset;
+        if (v.hasAll(mask)) {
+            pack.entries.push_back({v.name, home_offset, v.ncomp});
+            pack.ncompTotal += v.ncomp;
+        }
+        home_offset += v.ncomp;
+    }
+    pack_cache_.emplace_back(mask, std::move(pack));
+    return pack_cache_.back().second;
+}
+
+const VariableMetadata&
+VariableRegistry::byName(const std::string& name) const
+{
+    ++lookup_calls_;
+    for (const auto& v : variables_) {
+        ++string_compares_;
+        if (v.name == name)
+            return v;
+    }
+    fatal("unknown variable '", name, "'");
+}
+
+int
+VariableRegistry::offsetOf(const std::string& name) const
+{
+    int cons_offset = 0;
+    int derived_offset = 0;
+    for (const auto& v : variables_) {
+        ++string_compares_;
+        const bool independent = (v.flags & kIndependent) != 0;
+        if (v.name == name)
+            return independent ? cons_offset : derived_offset;
+        (independent ? cons_offset : derived_offset) += v.ncomp;
+    }
+    fatal("unknown variable '", name, "'");
+}
+
+VariableRegistry
+makeBurgersRegistry(int num_scalars)
+{
+    require(num_scalars >= 1,
+            "Burgers benchmark requires at least one passive scalar");
+    VariableRegistry registry;
+    registry.add({"u", 3, kIndependent | kFillGhost | kWithFluxes});
+    registry.add({"q", num_scalars, kIndependent | kFillGhost |
+                                        kWithFluxes});
+    registry.add({"d", 1, kDerived});
+    return registry;
+}
+
+} // namespace vibe

@@ -1,0 +1,111 @@
+/**
+ * @file variable.hpp
+ * Variable metadata, flags and packs.
+ *
+ * Parthenon identifies simulation variables by name plus metadata flags
+ * and extracts them with string-keyed lookups (GetVariablesByFlag); the
+ * paper calls this out as a serial hotspot (§VIII-A). We reproduce the
+ * same interface — including the string comparisons, which are counted
+ * so the performance model can price them — and, like the paper's
+ * recommendation, cache resolved packs so our own hot loops use integer
+ * offsets.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vibe {
+
+/** Metadata flags (bitmask) attached to each variable. */
+enum MetadataFlag : unsigned
+{
+    kIndependent = 1u << 0, ///< Evolved by the time integrator.
+    kFillGhost = 1u << 1,   ///< Participates in ghost-cell exchange.
+    kWithFluxes = 1u << 2,  ///< Has face fluxes (and flux correction).
+    kDerived = 1u << 3,     ///< Recomputed from independents each stage.
+};
+
+/** Declaration of one (possibly multi-component) variable. */
+struct VariableMetadata
+{
+    std::string name;
+    int ncomp = 1;
+    unsigned flags = 0;
+
+    bool hasAll(unsigned mask) const { return (flags & mask) == mask; }
+};
+
+/** A resolved view of one variable inside the packed storage. */
+struct PackEntry
+{
+    std::string name;
+    int offset = 0; ///< First component index in the packed array.
+    int ncomp = 1;
+};
+
+/** Resolved variable pack: contiguous component range(s) by flag. */
+struct VariablePack
+{
+    std::vector<PackEntry> entries;
+    int ncompTotal = 0;
+};
+
+/**
+ * Ordered registry of variable declarations for a simulation.
+ *
+ * Components of flagged-Independent variables are packed contiguously in
+ * declaration order into the conserved array; Derived variables pack
+ * into a separate array.
+ */
+class VariableRegistry
+{
+  public:
+    /** Declare a variable. Fatal on duplicate names. */
+    void add(VariableMetadata metadata);
+
+    /** Total components over variables having all bits of `mask`. */
+    int ncompWithFlags(unsigned mask) const;
+
+    /** Components in the conserved (Independent) pack. */
+    int ncompConserved() const { return ncompWithFlags(kIndependent); }
+
+    /** Components in the derived pack. */
+    int ncompDerived() const { return ncompWithFlags(kDerived); }
+
+    /**
+     * Resolve a pack of all variables having all bits of `mask`, the
+     * GetVariablesByFlag analogue. Performs string scans on first use
+     * (counted via stringCompares()); results are memoized.
+     */
+    const VariablePack& packByFlags(unsigned mask) const;
+
+    /** Find a variable by name (linear string scan, counted). */
+    const VariableMetadata& byName(const std::string& name) const;
+
+    /** Offset of named variable within its pack (conserved or derived). */
+    int offsetOf(const std::string& name) const;
+
+    const std::vector<VariableMetadata>& all() const { return variables_; }
+
+    /** Cumulative string comparisons performed by lookups. */
+    std::uint64_t stringCompares() const { return string_compares_; }
+    /** Cumulative lookup calls (cached or not). */
+    std::uint64_t lookupCalls() const { return lookup_calls_; }
+
+  private:
+    std::vector<VariableMetadata> variables_;
+    mutable std::vector<std::pair<unsigned, VariablePack>> pack_cache_;
+    mutable std::uint64_t string_compares_ = 0;
+    mutable std::uint64_t lookup_calls_ = 0;
+};
+
+/**
+ * Construct the Parthenon-VIBE registry (§II-G): the velocity vector
+ * `u` (3 components), `num_scalars` passive scalars `q`, and the derived
+ * kinetic-energy-like quantity `d` = 0.5 q0 u.u.
+ */
+VariableRegistry makeBurgersRegistry(int num_scalars);
+
+} // namespace vibe

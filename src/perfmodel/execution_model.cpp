@@ -1,0 +1,125 @@
+#include "perfmodel/execution_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+double
+TimingReport::phaseTotal(const std::string& phase) const
+{
+    auto it = phases.find(phase);
+    return it == phases.end() ? 0.0 : it->second.total();
+}
+
+ExecutionModel::ExecutionModel(const Calibration& calibration,
+                               const GpuSpec& gpu, const CpuSpec& cpu)
+    : calibration_(calibration), gpu_(gpu), cpu_(cpu),
+      kernel_model_(calibration), serial_model_(calibration),
+      memory_model_(calibration, gpu, cpu)
+{
+}
+
+namespace {
+
+/** Scale aggregated kernel stats by 1/n (work split across devices). */
+KernelStats
+scaleStats(const KernelStats& stats, double inv_n)
+{
+    KernelStats scaled = stats;
+    scaled.launches = static_cast<std::uint64_t>(
+        std::max(1.0, stats.launches * inv_n));
+    scaled.items *= inv_n;
+    scaled.flops *= inv_n;
+    scaled.bytes *= inv_n;
+    scaled.innermostSum *= inv_n;
+    return scaled;
+}
+
+} // namespace
+
+TimingReport
+ExecutionModel::evaluate(const RunArtifacts& artifacts,
+                         const PlatformConfig& config) const
+{
+    require(artifacts.profiler != nullptr,
+            "RunArtifacts must carry a profiler");
+    const KernelProfiler& prof = *artifacts.profiler;
+    TimingReport report;
+
+    // --- Kernel time per phase ---
+    const bool on_gpu = config.target == Target::Gpu;
+    const double inv_devices =
+        on_gpu ? 1.0 / std::max(1, config.gpus) : 1.0;
+    for (const auto& [key, stats] : prof.kernels()) {
+        const auto& [phase, name] = key;
+        double duration;
+        if (on_gpu) {
+            // Kernel work from all ranks of one GPU serializes on that
+            // device; devices operate concurrently -> evaluate the
+            // per-device share.
+            duration =
+                kernel_model_
+                    .evaluateGpu(name, scaleStats(stats, inv_devices),
+                                 gpu_)
+                    .duration;
+        } else {
+            const int cores =
+                std::min(config.ranks, cpu_.cores * config.nodes);
+            duration = kernel_model_.evaluateCpu(stats, cpu_, cores);
+        }
+        report.phases[phase].kernel += duration;
+        report.kernelTime += duration;
+    }
+
+    // --- Table III rows: per-kernel aggregates on a single device ---
+    if (on_gpu) {
+        std::map<std::string, KernelStats> by_name;
+        for (const auto& [key, stats] : prof.kernels()) {
+            KernelStats& agg = by_name[key.second];
+            agg.launches += stats.launches;
+            agg.items += stats.items;
+            agg.flops += stats.flops;
+            agg.bytes += stats.bytes;
+            agg.innermostSum += stats.innermostSum;
+        }
+        for (const auto& [name, stats] : by_name)
+            report.kernels[name] = kernel_model_.evaluateGpu(
+                name, scaleStats(stats, inv_devices), gpu_);
+    }
+
+    // --- Serial time per phase ---
+    for (const auto& [key, stats] : prof.serial()) {
+        const auto& [phase, category] = key;
+        const double seconds =
+            serial_model_.evaluate(category, stats.items, config);
+        report.phases[phase].serial += seconds;
+        report.serialTime += seconds;
+    }
+
+    report.totalTime = report.kernelTime + report.serialTime;
+    report.fom = report.totalTime > 0
+                     ? static_cast<double>(artifacts.zoneCycles) /
+                           report.totalTime
+                     : 0.0;
+
+    // --- End-to-end SM utilization (Fig. 1c) ---
+    if (on_gpu && report.totalTime > 0) {
+        double weighted = 0;
+        for (const auto& [name, timing] : report.kernels)
+            weighted += timing.duration * timing.smUtil;
+        report.e2eSmUtil = weighted / report.totalTime;
+    }
+
+    // --- Memory ---
+    MemoryInputs mem;
+    mem.kokkosBytes = artifacts.kokkosBytes;
+    mem.remoteWireBytes = artifacts.remoteWireBytes;
+    mem.remoteMsgsPerCycle = artifacts.remoteMsgsPerCycle;
+    report.memory = memory_model_.evaluate(mem, config);
+
+    return report;
+}
+
+} // namespace vibe

@@ -1,0 +1,98 @@
+/**
+ * @file execution_model.hpp
+ * Assembles the per-kernel, serial, communication and memory models
+ * into end-to-end timing reports for a platform configuration.
+ *
+ * The input is a RunArtifacts bundle captured from one instrumented
+ * simulation (run with the same rank count being modeled, so the rank
+ * attribution, remote/local message split and load balancing are
+ * real). The output is the phase/kernel/serial decomposition every
+ * figure of the paper is drawn from.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/kernel_profiler.hpp"
+#include "perfmodel/calibration.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "perfmodel/memory_model.hpp"
+#include "perfmodel/platform.hpp"
+#include "perfmodel/serial_model.hpp"
+
+namespace vibe {
+
+/** Everything the model needs from one instrumented run. */
+struct RunArtifacts
+{
+    const KernelProfiler* profiler = nullptr;
+    std::int64_t ncycles = 0;        ///< Evolution cycles executed.
+    std::int64_t zoneCycles = 0;     ///< FOM numerator (§III-A).
+    std::int64_t commCells = 0;      ///< Ghost cells on the wire.
+    std::size_t kokkosBytes = 0;     ///< Tracker bytes (mesh data).
+    double remoteWireBytes = 0;      ///< Remote bytes per exchange.
+    double remoteMsgsPerCycle = 0;   ///< Remote messages per cycle.
+    std::size_t finalBlocks = 0;     ///< Block count at end of run.
+};
+
+/** Kernel vs serial split for one timestep phase (Fig. 12 bars). */
+struct PhaseBreakdown
+{
+    double kernel = 0;
+    double serial = 0;
+
+    double total() const { return kernel + serial; }
+};
+
+/** Full model output for one (workload, platform) pair. */
+struct TimingReport
+{
+    /** Per-phase decomposition (the Fig. 11 categories). */
+    std::map<std::string, PhaseBreakdown> phases;
+    double kernelTime = 0; ///< Total Kokkos-kernel seconds.
+    double serialTime = 0; ///< Total serial-portion seconds.
+    double totalTime = 0;
+
+    /** Per-kernel microarchitecture rows (Table III). */
+    std::map<std::string, KernelTiming> kernels;
+
+    MemoryReport memory;
+
+    /** zone-cycles per second over the evaluated run. */
+    double fom = 0;
+    /** End-to-end SM utilization (Fig. 1c): kernel-busy-weighted. */
+    double e2eSmUtil = 0;
+
+    /** Time of one phase (0 if absent). */
+    double phaseTotal(const std::string& phase) const;
+};
+
+/** The composite model. */
+class ExecutionModel
+{
+  public:
+    explicit ExecutionModel(const Calibration& calibration = {},
+                            const GpuSpec& gpu = {},
+                            const CpuSpec& cpu = {});
+
+    const KernelModel& kernelModel() const { return kernel_model_; }
+    const GpuSpec& gpu() const { return gpu_; }
+    const CpuSpec& cpu() const { return cpu_; }
+
+    /** Evaluate one run under one platform configuration. */
+    TimingReport evaluate(const RunArtifacts& artifacts,
+                          const PlatformConfig& config) const;
+
+  private:
+    Calibration calibration_;
+    GpuSpec gpu_;
+    CpuSpec cpu_;
+    KernelModel kernel_model_;
+    SerialModel serial_model_;
+    MemoryModel memory_model_;
+};
+
+} // namespace vibe

@@ -1,0 +1,96 @@
+/**
+ * @file kernel_model.hpp
+ * Per-kernel GPU/CPU timing and microarchitecture model (paper §VII).
+ *
+ * Each kernel the workload launches has a descriptor carrying its CUDA
+ * launch shape and the efficiency characteristics the paper measured
+ * with Nsight Compute (register pressure, effective-warp fraction from
+ * PTX inspection, memory-access sparsity). Timing combines a roofline
+ * bound with occupancy-limited bandwidth saturation, warp divergence at
+ * small innermost extents, and per-launch overhead; Table III columns
+ * are produced from the same computation.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "exec/kernel_profiler.hpp"
+#include "perfmodel/calibration.hpp"
+#include "perfmodel/occupancy.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace vibe {
+
+/** Static characteristics of one GPU kernel (from §VII-A analysis). */
+struct KernelDescriptor
+{
+    /** Registers per thread (drives occupancy; CalculateFluxes > 100). */
+    int regsPerThread = 40;
+    /** CUDA block size (VIBE over-provisions 128 threads). */
+    int threadsPerBlock = 128;
+    /**
+     * Fraction of FP64 peak this kernel's instruction stream can
+     * sustain at full warps: folds in the 78%-ineffective-warp
+     * observation, issue mix and Kokkos reduction serialization.
+     * Calibrated against Table III durations.
+     */
+    double computeScale = 0.05;
+    /** Achieved fraction of peak HBM bandwidth once occupancy
+     *  saturates (sparse block access, §VII-A). */
+    double memEfficiency = 0.5;
+    /** Warp lanes follow the innermost extent (control divergence). */
+    bool divergenceProne = false;
+    /** Baseline SM pipe utilization at 32-wide rows (fitted to the
+     *  Nsight "SM %" column of Table III). */
+    double smUtilBase = 0.5;
+    /** Sensitivity of SM utilization to narrow innermost extents. */
+    double smUtilInnerExponent = 0.0;
+};
+
+/** Computed microarchitecture row (one Table III line). */
+struct KernelTiming
+{
+    double duration = 0;       ///< Seconds for the evaluated stats.
+    double smUtil = 0;         ///< [0,1].
+    double occupancy = 0;      ///< [0,1].
+    double warpUtil = 0;       ///< [0,1].
+    double bwUtil = 0;         ///< [0,1] of peak HBM.
+    double arithIntensity = 0; ///< flops/byte.
+    bool memoryBound = false;
+};
+
+/** Registry of descriptors plus the timing computations. */
+class KernelModel
+{
+  public:
+    explicit KernelModel(const Calibration& calibration);
+
+    /** Descriptor for `name` (falls back to a generic kernel). */
+    const KernelDescriptor& descriptor(const std::string& name) const;
+
+    /** All registered descriptors. */
+    const std::map<std::string, KernelDescriptor>& descriptors() const
+    {
+        return table_;
+    }
+
+    /**
+     * GPU timing/microarchitecture for aggregated launch stats of one
+     * kernel on one device.
+     */
+    KernelTiming evaluateGpu(const std::string& name,
+                             const KernelStats& stats,
+                             const GpuSpec& gpu) const;
+
+    /** CPU execution time for aggregated stats across `ranks` cores. */
+    double evaluateCpu(const KernelStats& stats, const CpuSpec& cpu,
+                       int ranks) const;
+
+  private:
+    Calibration calibration_;
+    std::map<std::string, KernelDescriptor> table_;
+    KernelDescriptor generic_;
+};
+
+} // namespace vibe

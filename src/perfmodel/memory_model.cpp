@@ -1,0 +1,71 @@
+#include "perfmodel/memory_model.hpp"
+
+#include <cmath>
+
+namespace vibe {
+
+MemoryReport
+MemoryModel::evaluate(const MemoryInputs& inputs,
+                      const PlatformConfig& config) const
+{
+    const MemoryModelConstants& m = cal_.memory;
+    MemoryReport report;
+    constexpr double GB = 1024.0 * 1024.0 * 1024.0;
+
+    if (config.target == Target::Gpu) {
+        const int devices = std::max(1, config.gpus);
+        const double ranks_per_device =
+            static_cast<double>(config.ranks) / devices;
+        report.kokkosGB =
+            static_cast<double>(inputs.kokkosBytes) / devices / GB;
+        const double staging = inputs.remoteWireBytes *
+                               m.bufferRegistrationFactor / devices / GB;
+        const double leak = inputs.remoteMsgsPerCycle *
+                            m.ipcLeakBytesPerRemoteMsg *
+                            m.paperRunCycles / devices / GB;
+        report.mpiGB = ranks_per_device * m.gpuDriverBasePerRankGB +
+                       staging + leak;
+        report.capacityGB = gpu_.memCapacityGB;
+    } else {
+        // CPU: all ranks share node DRAM; report per node.
+        const int nodes = std::max(1, config.nodes);
+        const double ranks_per_node =
+            static_cast<double>(config.ranks) / nodes;
+        report.kokkosGB =
+            static_cast<double>(inputs.kokkosBytes) / nodes / GB;
+        const double staging = inputs.remoteWireBytes *
+                               m.bufferRegistrationFactor / nodes / GB;
+        const double leak = inputs.remoteMsgsPerCycle *
+                            m.ipcLeakBytesPerRemoteMsg *
+                            m.paperRunCycles / nodes / GB;
+        report.mpiGB = ranks_per_node * m.cpuDriverBasePerRankGB +
+                       staging + leak;
+        report.capacityGB = cpu_.memCapacityGB;
+    }
+
+    report.totalGB = report.kokkosGB + report.mpiGB;
+    report.oom = report.totalGB > report.capacityGB;
+    return report;
+}
+
+double
+MemoryModel::auxBytesUnoptimized(double mesh_blocks, int nx1, int ng,
+                                 int num_scalar)
+{
+    // #MeshBlocks x B x 6 x (nx1 + 2 ng)^3 x (3 + num_scalar).
+    const double extent = nx1 + 2.0 * ng;
+    return mesh_blocks * 8.0 * 6.0 * extent * extent * extent *
+           (3.0 + num_scalar);
+}
+
+double
+MemoryModel::auxBytesOptimized(double thread_blocks, int nx1, int ng,
+                               int num_scalar, int d)
+{
+    // #ThreadBlocks x B x 6 x (nx1 + 2 ng)^d x (3 + num_scalar).
+    const double extent = nx1 + 2.0 * ng;
+    return thread_blocks * 8.0 * 6.0 * std::pow(extent, d) *
+           (3.0 + num_scalar);
+}
+
+} // namespace vibe

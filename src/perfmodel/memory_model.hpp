@@ -1,0 +1,78 @@
+/**
+ * @file memory_model.hpp
+ * Device/host memory-footprint model (paper §IV-E, Fig. 10).
+ *
+ * Two contributions, matching the paper's trace analysis:
+ * (1) Kokkos/Parthenon mesh allocations — taken *exactly* from the
+ *     MemoryTracker of the instrumented run (identical in numeric and
+ *     counting modes), nearly constant in rank count;
+ * (2) MPI communication buffers and Open MPI driver state — grows with
+ *     rank count via per-rank driver baselines, registered staging for
+ *     remote wire bytes, and the open-mpi/ompi#12849 IPC cache leak
+ *     accumulated over a production-length run.
+ * The model flags OOM when a device exceeds its capacity, producing
+ * the OOM walls of Figs. 4, 5, 6 and 8.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "perfmodel/calibration.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace vibe {
+
+/** Workload memory facts captured from an instrumented run. */
+struct MemoryInputs
+{
+    std::size_t kokkosBytes = 0;        ///< Tracker total (all ranks).
+    double remoteWireBytes = 0;         ///< Remote bytes per exchange.
+    double remoteMsgsPerCycle = 0;      ///< Remote messages per cycle.
+};
+
+/** Per-device footprint report (one Fig. 10 bar). */
+struct MemoryReport
+{
+    double kokkosGB = 0;   ///< Mesh data (green segment).
+    double mpiGB = 0;      ///< Buffers + driver (pink segment).
+    double totalGB = 0;    ///< Per device (GPU) or node (CPU).
+    double capacityGB = 0;
+    bool oom = false;
+};
+
+/** Evaluates MemoryInputs for a platform configuration. */
+class MemoryModel
+{
+  public:
+    MemoryModel(const Calibration& calibration, const GpuSpec& gpu,
+                const CpuSpec& cpu)
+        : cal_(calibration), gpu_(gpu), cpu_(cpu)
+    {
+    }
+
+    MemoryReport evaluate(const MemoryInputs& inputs,
+                          const PlatformConfig& config) const;
+
+    /**
+     * §VIII-B closed forms: auxiliary-variable bytes before and after
+     * the kernel-restructuring optimization.
+     *
+     * @param mesh_blocks   #MeshBlocks.
+     * @param nx1           MeshBlock size per dimension.
+     * @param ng            Ghost cells (4 for WENO5).
+     * @param num_scalar    Passive scalar count.
+     * @param thread_blocks #ThreadBlocks post-optimization (1024).
+     * @param d             Reduced loop dimensionality (2 for 2-D).
+     */
+    static double auxBytesUnoptimized(double mesh_blocks, int nx1, int ng,
+                                      int num_scalar);
+    static double auxBytesOptimized(double thread_blocks, int nx1, int ng,
+                                    int num_scalar, int d);
+
+  private:
+    Calibration cal_;
+    GpuSpec gpu_;
+    CpuSpec cpu_;
+};
+
+} // namespace vibe

@@ -1,0 +1,43 @@
+#include "perfmodel/occupancy.hpp"
+
+#include <algorithm>
+
+namespace vibe {
+
+OccupancyResult
+computeOccupancy(const OccupancyQuery& query, const GpuSpec& gpu)
+{
+    require(query.regsPerThread >= 1 && query.threadsPerBlock >= 1,
+            "occupancy query requires positive registers and threads");
+    OccupancyResult result;
+
+    const int warps_per_block =
+        (query.threadsPerBlock + gpu.warpSize - 1) / gpu.warpSize;
+
+    // Registers are allocated per warp in granules.
+    const int regs_per_warp_raw = query.regsPerThread * gpu.warpSize;
+    const int granule = gpu.regAllocGranularity;
+    const int regs_per_warp =
+        ((regs_per_warp_raw + granule - 1) / granule) * granule;
+    const int regs_per_block = regs_per_warp * warps_per_block;
+
+    int blocks_by_regs =
+        regs_per_block > 0 ? gpu.regsPerSm / regs_per_block
+                           : gpu.maxBlocksPerSm;
+    // Shared memory: H100 228 KB usable per SM.
+    int blocks_by_smem =
+        query.sharedBytesPerBlock > 0
+            ? static_cast<int>(228 * 1024 / query.sharedBytesPerBlock)
+            : gpu.maxBlocksPerSm;
+    int blocks_by_warps = gpu.maxWarpsPerSm / warps_per_block;
+
+    result.blocksPerSm = std::max(
+        0, std::min({blocks_by_regs, blocks_by_smem, blocks_by_warps,
+                     gpu.maxBlocksPerSm}));
+    result.activeWarpsPerSm = result.blocksPerSm * warps_per_block;
+    result.occupancy = static_cast<double>(result.activeWarpsPerSm) /
+                       gpu.maxWarpsPerSm;
+    return result;
+}
+
+} // namespace vibe

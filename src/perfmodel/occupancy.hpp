@@ -1,0 +1,39 @@
+/**
+ * @file occupancy.hpp
+ * CUDA occupancy calculator.
+ *
+ * Reproduces the register-pressure arithmetic the paper uses to explain
+ * low SM occupancy (§VII-A): with >100 registers per thread,
+ * CalculateFluxes sustains only a handful of active warps per SM.
+ */
+#pragma once
+
+#include "perfmodel/platform.hpp"
+
+namespace vibe {
+
+/** Inputs of one kernel's occupancy computation. */
+struct OccupancyQuery
+{
+    int regsPerThread = 32;
+    int threadsPerBlock = 128;
+    int sharedBytesPerBlock = 0; ///< Modeled but usually 0 for VIBE.
+};
+
+/** Result of the occupancy computation. */
+struct OccupancyResult
+{
+    int blocksPerSm = 0;
+    int activeWarpsPerSm = 0;
+    double occupancy = 0; ///< activeWarps / maxWarps.
+};
+
+/**
+ * Compute achievable occupancy on `gpu` for a kernel with the given
+ * per-thread register count and block size, applying the register
+ * allocation granularity and the blocks/warps-per-SM caps.
+ */
+OccupancyResult computeOccupancy(const OccupancyQuery& query,
+                                 const GpuSpec& gpu);
+
+} // namespace vibe

@@ -1,0 +1,70 @@
+/**
+ * @file opcode_model.hpp
+ * MICA-style CPU instruction-mix model (paper §VII-B, Fig. 13).
+ *
+ * Kernel (data-parallel) instruction counts derive from the
+ * instrumented flop/byte/row counts: AVX-512 packs 8 FP64 lanes per
+ * vector op, memory ops move cache lines, and every innermost row pays
+ * a scalar prologue (index arithmetic, bounds checks, branches) —
+ * which is why smaller mesh blocks shift the mix away from vector ops
+ * (63% at B32 -> 52% at B16 in the paper). Serial-portion mixes use
+ * pointer-chasing constants (LD/ST-heavy, 39-41% in the paper).
+ */
+#pragma once
+
+#include "exec/kernel_profiler.hpp"
+
+namespace vibe {
+
+/** Fractions summing to 1: the Fig. 13 categories. */
+struct OpcodeMix
+{
+    double ldst = 0;
+    double vec = 0;
+    double fp = 0;
+    double intg = 0;
+    double reg = 0;
+    double ctrl = 0;
+    double other = 0;
+
+    /** Normalize in place to sum to 1 (no-op on all-zero). */
+    void normalize();
+};
+
+/** Instruction counts + mix for one portion of the execution. */
+struct OpcodeCounts
+{
+    double instructions = 0;
+    OpcodeMix mix;
+};
+
+/** Computes Fig. 13 columns from profiler aggregates. */
+class OpcodeModel
+{
+  public:
+    /**
+     * Kernel-portion counts from data-parallel work aggregates.
+     *
+     * @param flops     Total FP operations.
+     * @param bytes     Total ideal bytes moved.
+     * @param items     Total loop iterations.
+     * @param avg_inner Average innermost extent (vectorized width).
+     */
+    OpcodeCounts kernelCounts(double flops, double bytes, double items,
+                              double avg_inner) const;
+
+    /** Serial-portion counts from total recorded serial items. */
+    OpcodeCounts serialCounts(double serial_items) const;
+
+    /** Weighted total mix of the two portions. */
+    static OpcodeCounts combine(const OpcodeCounts& kernel,
+                                const OpcodeCounts& serial);
+
+    /** Aggregate a profiler into (kernel, serial) counts. */
+    OpcodeCounts kernelCountsFromProfiler(
+        const KernelProfiler& profiler) const;
+    OpcodeCounts serialCountsFromProfiler(
+        const KernelProfiler& profiler) const;
+};
+
+} // namespace vibe

@@ -1,0 +1,46 @@
+#include "perfmodel/platform.hpp"
+
+#include <sstream>
+
+namespace vibe {
+
+std::string
+PlatformConfig::label() const
+{
+    std::ostringstream oss;
+    if (target == Target::Cpu) {
+        oss << "CPU " << ranks << "R";
+    } else {
+        oss << gpus << (gpus == 1 ? " GPU " : " GPUs ") << ranks << "R";
+    }
+    if (nodes > 1)
+        oss << " x" << nodes << "N";
+    return oss.str();
+}
+
+PlatformConfig
+PlatformConfig::cpu(int ranks, int nodes)
+{
+    require(ranks >= 1, "CPU config needs at least one rank");
+    PlatformConfig config;
+    config.target = Target::Cpu;
+    config.gpus = 0;
+    config.ranks = ranks;
+    config.nodes = nodes;
+    return config;
+}
+
+PlatformConfig
+PlatformConfig::gpu(int gpus, int ranks, int nodes)
+{
+    require(gpus >= 1 && ranks >= gpus,
+            "GPU config needs >= 1 GPU and >= 1 rank per GPU");
+    PlatformConfig config;
+    config.target = Target::Gpu;
+    config.gpus = gpus;
+    config.ranks = ranks;
+    config.nodes = nodes;
+    return config;
+}
+
+} // namespace vibe

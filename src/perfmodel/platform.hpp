@@ -1,0 +1,83 @@
+/**
+ * @file platform.hpp
+ * Hardware descriptions of the paper's platforms (Tables I and II) and
+ * the execution configurations studied (ranks, GPUs, nodes).
+ *
+ * These are the *inputs* to the performance model; the calibration
+ * constants that tie modeled seconds to the paper's measured seconds
+ * live in calibration.hpp.
+ */
+#pragma once
+
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+/** Table I: Intel Xeon Platinum 8468 (Sapphire Rapids) node. */
+struct CpuSpec
+{
+    std::string name = "Intel Xeon Platinum 8468 (Sapphire Rapids)";
+    int cores = 96;
+    double clockGhz = 3.1;
+    /** AVX-512 FP64: 2 FMA ports x 8 lanes x 2 flops per cycle. */
+    double flopsPerCorePerCycle = 32.0;
+    double memBandwidthGBs = 614.4;
+    double memCapacityGB = 1024.0;
+    /** Per-core sustainable share of DRAM bandwidth. */
+    double perCoreBandwidthGBs = 22.0;
+
+    double peakGflopsPerCore() const
+    {
+        return clockGhz * flopsPerCorePerCycle;
+    }
+};
+
+/** Table II: NVIDIA H100 (SXM). */
+struct GpuSpec
+{
+    std::string name = "NVIDIA H100";
+    int sms = 132;
+    double clockGhz = 1.98;
+    double hbmBandwidthGBs = 3350.0;
+    double memCapacityGB = 79.65; // 81559 MiB
+    double fp64Tflops = 34.0;
+    int maxWarpsPerSm = 64;
+    int maxBlocksPerSm = 32;
+    int regsPerSm = 65536;
+    int regAllocGranularity = 256; ///< Register-file allocation unit.
+    int warpSize = 32;
+
+    /** Operational intensity knee of the FP64 roofline (paper: 10.1). */
+    double rooflineKnee() const
+    {
+        return fp64Tflops * 1e12 / (hbmBandwidthGBs * 1e9);
+    }
+};
+
+/** Which device executes the Kokkos kernels. */
+enum class Target { Cpu, Gpu };
+
+/** One execution configuration (a bar/series point in the figures). */
+struct PlatformConfig
+{
+    Target target = Target::Gpu;
+    int gpus = 1;        ///< Ignored for CPU runs.
+    int ranks = 1;       ///< Total MPI ranks (CPU: one per core used).
+    int nodes = 1;       ///< Section V multi-node studies.
+
+    /** Ranks per GPU (GPU targets). */
+    double ranksPerGpu() const
+    {
+        return gpus > 0 ? static_cast<double>(ranks) / gpus : 0.0;
+    }
+
+    /** Short label, e.g. "GPU 1R", "CPU 96R". */
+    std::string label() const;
+
+    static PlatformConfig cpu(int ranks, int nodes = 1);
+    static PlatformConfig gpu(int gpus, int ranks, int nodes = 1);
+};
+
+} // namespace vibe

@@ -1,0 +1,103 @@
+#include "perfmodel/serial_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vibe {
+
+bool
+SerialModel::isReplicated(const std::string& category)
+{
+    return category == "tree_update_flags" ||
+           category == "tree_update_changes" ||
+           category == "block_list_rebuild" ||
+           category == "lb_partition";
+}
+
+double
+SerialModel::evaluate(const std::string& category, double items,
+                      const PlatformConfig& config) const
+{
+    if (items <= 0)
+        return 0.0;
+    const SerialCosts& c = cal_.serial;
+    const double raw_ranks = std::max(1, config.ranks);
+    // Distributed work divides by *effective* ranks: load imbalance and
+    // shared-resource contention saturate the division (Fig. 7 serial
+    // plateau past ~64 cores).
+    const bool gpu = config.target == Target::Gpu;
+    const double saturation =
+        gpu ? c.gpuRankSaturation : c.rankSaturation;
+    const double ranks = raw_ranks / (1.0 + raw_ranks / saturation);
+
+    // Fraction of remote traffic that crosses nodes (Section V): with a
+    // Z-order partition, roughly one rank boundary in `ranks` becomes a
+    // node boundary per extra node.
+    const double inter_node_frac =
+        config.nodes > 1
+            ? std::min(0.5, static_cast<double>(config.nodes - 1) /
+                                std::max(2.0, raw_ranks / 4.0))
+            : 0.0;
+
+    if (category == "tree_update_flags")
+        return items * c.treeUpdateFlags;
+    if (category == "tree_update_changes")
+        return items * c.treeUpdateChanges;
+    if (category == "block_list_rebuild")
+        return items * c.blockListRebuild;
+    if (category == "lb_partition")
+        return items * c.lbPartition;
+
+    if (category == "neighbor_search")
+        return items * c.neighborSearch / ranks;
+    if (category == "buffer_cache_keys") {
+        const double log_n = std::log2(std::max(2.0, items));
+        return items * log_n * c.bufferCacheKeys / ranks;
+    }
+    if (category == "buffer_cache_metadata") {
+        const double per_item =
+            c.bufferCacheMetadata + (gpu ? c.gpuMetadataH2d : 0.0);
+        return items * per_item / ranks;
+    }
+    if (category == "recv_buf_prepare")
+        return items * c.recvBufPrepare / ranks;
+    if (category == "bound_buf_metadata")
+        return items * c.boundBufMetadata / ranks;
+    if (category == "recv_poll")
+        return items * c.recvPoll / ranks;
+    if (category == "string_lookup")
+        return items * c.stringLookup / ranks;
+    if (category == "refine_check")
+        return items * c.refineCheck / ranks;
+    if (category == "dt_reduce")
+        return items * c.dtReduce / ranks;
+
+    if (category == "msg_local")
+        return items * c.msgLocalLatency / ranks;
+    if (category == "msg_remote") {
+        const double latency =
+            c.msgRemoteLatency + inter_node_frac * c.interNodeExtraLatency;
+        return items * latency / ranks;
+    }
+    if (category == "msg_local_bytes")
+        return items / (c.localCopyGBs * 1e9) / ranks;
+    if (category == "msg_remote_bytes") {
+        const double per_byte =
+            (1.0 - inter_node_frac) / (c.remoteIntraNodeGBs * 1e9) +
+            inter_node_frac / (c.remoteInterNodeGBs * 1e9);
+        return items * per_byte / ranks;
+    }
+
+    if (category == "collective") {
+        const double base = gpu ? c.collectiveBaseGpu : c.collectiveBaseCpu;
+        const double per_rank =
+            gpu ? c.collectivePerRankGpu : c.collectivePerRankCpu;
+        const double node_penalty = 1.0 + 0.5 * (config.nodes - 1);
+        return items * (base + per_rank * raw_ranks) * node_penalty;
+    }
+
+    // Unknown categories get a conservative generic distributed cost.
+    return items * 1.0e-6 / ranks;
+}
+
+} // namespace vibe

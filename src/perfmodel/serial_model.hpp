@@ -1,0 +1,48 @@
+/**
+ * @file serial_model.hpp
+ * Host-side (non-Kokkos) cost model: the "serial portion" of the
+ * paper's §II-C definition.
+ *
+ * Consumes the serial work items the instrumentation recorded
+ * (tree updates, buffer-cache rebuilds, metadata fills, polling,
+ * string lookups, messaging, collectives) and prices them for a given
+ * platform configuration. Replicated work (every rank walks the global
+ * tree) does not shrink with rank count — the irreducible overhead
+ * behind the Fig. 7 serial plateau; distributed work divides across
+ * ranks — the Amdahl relief behind the Fig. 8 rank-scaling gains;
+ * collectives *grow* with rank count — the downturn beyond ~12
+ * ranks/GPU.
+ */
+#pragma once
+
+#include <string>
+
+#include "perfmodel/calibration.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace vibe {
+
+/** Prices recorded serial categories for a platform configuration. */
+class SerialModel
+{
+  public:
+    explicit SerialModel(const Calibration& calibration)
+        : cal_(calibration)
+    {
+    }
+
+    /**
+     * Wall seconds contributed by `items` recorded under `category`
+     * when executed under `config`.
+     */
+    double evaluate(const std::string& category, double items,
+                    const PlatformConfig& config) const;
+
+    /** True if every rank repeats this work (global tree walks). */
+    static bool isReplicated(const std::string& category);
+
+  private:
+    Calibration cal_;
+};
+
+} // namespace vibe

@@ -1,0 +1,355 @@
+#include "solver/burgers.hpp"
+
+#include <cmath>
+
+#include "exec/par_for.hpp"
+#include "solver/riemann.hpp"
+#include "util/logging.hpp"
+
+namespace vibe {
+
+BurgersConfig
+BurgersConfig::fromParams(const ParameterInput& pin)
+{
+    BurgersConfig config;
+    config.numScalars = pin.getInt("burgers", "num_scalars", 8);
+    config.cfl = pin.getReal("burgers", "cfl", 0.4);
+    const std::string recon =
+        pin.getString("burgers", "recon", "weno5");
+    if (recon == "weno5")
+        config.recon = ReconMethod::Weno5;
+    else if (recon == "plm")
+        config.recon = ReconMethod::Plm;
+    else
+        fatal("unknown reconstruction '", recon, "'");
+    config.refineTol = pin.getReal("burgers", "refine_tol", 0.08);
+    config.derefineTol = pin.getReal("burgers", "derefine_tol", 0.02);
+    return config;
+}
+
+InitialCondition
+initialConditionFromName(const std::string& name)
+{
+    if (name == "gaussian_blob")
+        return InitialCondition::GaussianBlob;
+    if (name == "sine")
+        return InitialCondition::Sine;
+    if (name == "ripple")
+        return InitialCondition::Ripple;
+    fatal("unknown initial condition '", name, "'");
+}
+
+void
+BurgersPackage::initialize(Mesh& mesh, InitialCondition ic) const
+{
+    for (const auto& block : mesh.blocks())
+        initializeBlock(*block, ic);
+}
+
+void
+BurgersPackage::initializeBlock(MeshBlock& block,
+                                InitialCondition ic) const
+{
+    if (!block.hasData())
+        return;
+    const BlockShape& s = block.shape();
+    const BlockGeometry& g = block.geom();
+    const int ncomp = block.registry().ncompConserved();
+    RealArray4& cons = block.cons();
+    constexpr double two_pi = 6.283185307179586;
+
+    // Fill interior AND ghosts so the first exchange starts consistent.
+    for (int k = 0; k < s.nk(); ++k)
+        for (int j = 0; j < s.nj(); ++j)
+            for (int i = 0; i < s.ni(); ++i) {
+                const double x = g.x1c(i - s.is());
+                const double y = s.ndim >= 2 ? g.x2c(j - s.js()) : 0.5;
+                const double z = s.ndim >= 3 ? g.x3c(k - s.ks()) : 0.5;
+                const double dx = x - 0.5, dy = y - 0.5, dz = z - 0.5;
+                const double r2 = dx * dx + dy * dy + dz * dz;
+                const double r = std::sqrt(r2);
+
+                double u1 = 0, u2 = 0, u3 = 0, q = 1e-3;
+                switch (ic) {
+                  case InitialCondition::GaussianBlob: {
+                    const double amp = std::exp(-r2 / (2 * 0.08 * 0.08));
+                    u1 = amp;
+                    u2 = 0.5 * amp;
+                    u3 = 0.25 * amp;
+                    q = amp + 1e-3;
+                    break;
+                  }
+                  case InitialCondition::Sine: {
+                    u1 = 0.2 * std::sin(two_pi * x);
+                    u2 = s.ndim >= 2 ? 0.2 * std::sin(two_pi * y) : 0.0;
+                    u3 = s.ndim >= 3 ? 0.2 * std::sin(two_pi * z) : 0.0;
+                    q = 1.0 + 0.5 * std::sin(two_pi * (x + y + z));
+                    break;
+                  }
+                  case InitialCondition::Ripple: {
+                    // Outward radial pulse centered on a thin shell.
+                    const double shell = 0.12;
+                    const double amp = std::exp(
+                        -(r - shell) * (r - shell) / (2 * 0.03 * 0.03));
+                    const double inv_r = r > 1e-12 ? 1.0 / r : 0.0;
+                    u1 = amp * dx * inv_r;
+                    u2 = s.ndim >= 2 ? amp * dy * inv_r : 0.0;
+                    u3 = s.ndim >= 3 ? amp * dz * inv_r : 0.0;
+                    q = amp + 1e-3;
+                    break;
+                  }
+                }
+                cons(0, k, j, i) = u1;
+                cons(1, k, j, i) = u2;
+                cons(2, k, j, i) = u3;
+                for (int m = 3; m < ncomp; ++m)
+                    cons(m, k, j, i) = q / (1.0 + 0.1 * (m - 3));
+            }
+}
+
+void
+BurgersPackage::calculateFluxes(Mesh& mesh) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "CalculateFluxes");
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    const int ndim = s.ndim;
+    const double recon_flops =
+        config_.recon == ReconMethod::Weno5 ? kWeno5Flops : kPlmFlops;
+    // Per interior cell: for each direction, ~1 face: two reconstructed
+    // states and one HLL flux per component.
+    const KernelCosts costs{
+        ndim * ncomp * (2 * recon_flops + kHllFlopsPerComp),
+        // Effective DRAM traffic: state read + recon write x2 + flux
+        // write per direction (stencil reuse hits cache).
+        ndim * ncomp * 4.0 * sizeof(double)};
+
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        recordKernel(ctx, "CalculateFluxes",
+                     static_cast<double>(s.interiorCells()), costs,
+                     static_cast<double>(s.nx1));
+        if (!ctx.executing())
+            continue;
+
+        RealArray4& cons = block->cons();
+        for (int d = 0; d < ndim; ++d) {
+            RealArray4* rl = block->reconL(d);
+            RealArray4* rr = block->reconR(d);
+            require(rl && rr, "reconstruction scratch missing");
+            RealArray4& flux = block->flux(d);
+            const int di = d == 0 ? 1 : 0;
+            const int dj = d == 1 ? 1 : 0;
+            const int dk = d == 2 ? 1 : 0;
+            // Face range: interior faces of dim d, interior cells in
+            // transverse dims.
+            const int fis = s.is(), fie = s.ie() + di;
+            const int fjs = s.js(), fje = s.je() + dj;
+            const int fks = s.ks(), fke = s.ke() + dk;
+
+            for (int n = 0; n < ncomp; ++n)
+                for (int k = fks; k <= fke; ++k)
+                    for (int j = fjs; j <= fje; ++j)
+                        for (int i = fis; i <= fie; ++i) {
+                            auto c = [&](int shift) {
+                                return cons(n, k + shift * dk,
+                                            j + shift * dj,
+                                            i + shift * di);
+                            };
+                            double left, right;
+                            if (config_.recon == ReconMethod::Weno5) {
+                                left = weno5Face(c(-3), c(-2), c(-1),
+                                                 c(0), c(1));
+                                right = weno5Face(c(2), c(1), c(0),
+                                                  c(-1), c(-2));
+                            } else {
+                                left = plmFace(c(-2), c(-1), c(0));
+                                right = plmFace(c(1), c(0), c(-1));
+                            }
+                            (*rl)(n, k, j, i) = left;
+                            (*rr)(n, k, j, i) = right;
+                        }
+
+            // HLL pass over the same faces.
+            std::vector<double> ul(ncomp), ur(ncomp), f(ncomp);
+            for (int k = fks; k <= fke; ++k)
+                for (int j = fjs; j <= fje; ++j)
+                    for (int i = fis; i <= fie; ++i) {
+                        for (int n = 0; n < ncomp; ++n) {
+                            ul[n] = (*rl)(n, k, j, i);
+                            ur[n] = (*rr)(n, k, j, i);
+                        }
+                        hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
+                        for (int n = 0; n < ncomp; ++n)
+                            flux(n, k, j, i) = f[n];
+                    }
+        }
+    }
+}
+
+void
+BurgersPackage::fluxDivergence(Mesh& mesh) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "FluxDivergence");
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    const int ndim = s.ndim;
+    const KernelCosts costs{ncomp * ndim * 3.0,
+                            ncomp * (2.0 * ndim + 1.0) * sizeof(double)};
+
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        const BlockGeometry& g = block->geom();
+        const double inv_dx[3] = {1.0 / g.dx1, 1.0 / g.dx2, 1.0 / g.dx3};
+        RealArray4& dudt = block->dudt();
+        parFor(ctx, "FluxDivergence", costs, s.ks(), s.ke(), s.js(),
+               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
+                   for (int n = 0; n < ncomp; ++n) {
+                       double div = (block->flux(0)(n, k, j, i + 1) -
+                                     block->flux(0)(n, k, j, i)) *
+                                    inv_dx[0];
+                       if (ndim >= 2)
+                           div += (block->flux(1)(n, k, j + 1, i) -
+                                   block->flux(1)(n, k, j, i)) *
+                                  inv_dx[1];
+                       if (ndim >= 3)
+                           div += (block->flux(2)(n, k + 1, j, i) -
+                                   block->flux(2)(n, k, j, i)) *
+                                  inv_dx[2];
+                       dudt(n, k, j, i) = -div;
+                   }
+               });
+    }
+}
+
+void
+BurgersPackage::fillDerived(Mesh& mesh) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "FillDerived");
+    const BlockShape s = mesh.config().blockShape();
+    // d = 0.5 q0 (u.u): 5 reads, 1 write, ~6 flops per cell.
+    const KernelCosts costs{6.0, 6.0 * sizeof(double)};
+
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        // String-based variable extraction (GetVariablesByFlag) is the
+        // serial overhead the paper highlights (§VIII-A).
+        recordSerial(ctx, "string_lookup",
+                     static_cast<double>(mesh.registry().all().size()));
+        RealArray4& cons = block->cons();
+        RealArray4& derived = block->derived();
+        parFor(ctx, "CalculateDerived", costs, s.ks(), s.ke(), s.js(),
+               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
+                   const double u1 = cons(0, k, j, i);
+                   const double u2 = cons(1, k, j, i);
+                   const double u3 = cons(2, k, j, i);
+                   const double q0 = cons(3, k, j, i);
+                   derived(0, k, j, i) =
+                       0.5 * q0 * (u1 * u1 + u2 * u2 + u3 * u3);
+               });
+    }
+}
+
+double
+BurgersPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
+                                 double fallback_dt) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "EstimateTimestep");
+    const BlockShape s = mesh.config().blockShape();
+    const KernelCosts costs{10.0, 3.0 * sizeof(double)};
+
+    double dt = fallback_dt / config_.cfl;
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        double block_dt = dt;
+        RealArray4& cons = block->cons();
+        const BlockGeometry& g = block->geom();
+        parFor(ctx, "EstTimeMesh", costs, s.ks(), s.ke(), s.js(), s.je(),
+               s.is(), s.ie(), [&](int k, int j, int i) {
+                   constexpr double tiny = 1e-12;
+                   double cell_dt =
+                       g.dx1 / (std::fabs(cons(0, k, j, i)) + tiny);
+                   if (s.ndim >= 2)
+                       cell_dt = std::min(
+                           cell_dt,
+                           g.dx2 / (std::fabs(cons(1, k, j, i)) + tiny));
+                   if (s.ndim >= 3)
+                       cell_dt = std::min(
+                           cell_dt,
+                           g.dx3 / (std::fabs(cons(2, k, j, i)) + tiny));
+                   block_dt = std::min(block_dt, cell_dt);
+               });
+        dt = std::min(dt, block_dt);
+        recordSerial(ctx, "dt_reduce", 1.0);
+    }
+    // Global min across ranks.
+    world.allReduce(sizeof(double));
+    recordSerial(ctx, "collective", 1.0);
+    return config_.cfl * dt;
+}
+
+double
+BurgersPackage::massHistory(Mesh& mesh, RankWorld& world) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "other");
+    const BlockShape s = mesh.config().blockShape();
+    const KernelCosts costs{2.0, 1.0 * sizeof(double)};
+
+    double mass = 0.0;
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        RealArray4& cons = block->cons();
+        const double vol = block->geom().cellVolume();
+        parFor(ctx, "MassHistory", costs, s.ks(), s.ke(), s.js(), s.je(),
+               s.is(), s.ie(), [&](int k, int j, int i) {
+                   mass += cons(3, k, j, i) * vol;
+               });
+    }
+    world.allReduce(sizeof(double));
+    recordSerial(ctx, "collective", 1.0);
+    return mass;
+}
+
+RefinementFlag
+BurgersPackage::tagBlock(const MeshBlock& block,
+                         const ExecContext& ctx) const
+{
+    require(block.hasData(),
+            "gradient tagging requires numeric mode; use an analytic "
+            "tagger in counting mode");
+    const BlockShape& s = block.shape();
+    // First-derivative indicator (the VIBE tagging kernel): maximum
+    // index-space velocity jump over interior cells.
+    const KernelCosts costs{120.0, 1.0 * sizeof(double)};
+    double max_jump = 0.0;
+    const RealArray4& cons = block.cons();
+    parFor(ctx, "FirstDerivative", costs, s.ks(), s.ke(), s.js(), s.je(),
+           s.is(), s.ie(), [&](int k, int j, int i) {
+               double jump2 = 0.0;
+               for (int m = 0; m < 3; ++m) {
+                   const double gx = 0.5 * (cons(m, k, j, i + 1) -
+                                            cons(m, k, j, i - 1));
+                   double gy = 0.0, gz = 0.0;
+                   if (s.ndim >= 2)
+                       gy = 0.5 * (cons(m, k, j + 1, i) -
+                                   cons(m, k, j - 1, i));
+                   if (s.ndim >= 3)
+                       gz = 0.5 * (cons(m, k + 1, j, i) -
+                                   cons(m, k - 1, j, i));
+                   jump2 += gx * gx + gy * gy + gz * gz;
+               }
+               max_jump = std::max(max_jump, std::sqrt(jump2));
+           });
+    if (max_jump > config_.refineTol)
+        return RefinementFlag::Refine;
+    if (max_jump < config_.derefineTol)
+        return RefinementFlag::Derefine;
+    return RefinementFlag::None;
+}
+
+} // namespace vibe

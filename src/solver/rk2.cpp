@@ -1,0 +1,72 @@
+#include "solver/rk2.hpp"
+
+#include "exec/par_for.hpp"
+
+namespace vibe {
+
+namespace {
+
+/** Shared implementation: u <- wa*u0 + wb*u + wc*dt*dudt. */
+void
+weightedSum(Mesh& mesh, double wa, double wb, double wc, double dt)
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "WeightedSumData");
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    // Per cell: ncomp fused multiply-adds over three registers.
+    const KernelCosts costs{ncomp * 5.0, ncomp * 4.0 * sizeof(double)};
+
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        recordSerial(ctx, "string_lookup",
+                     static_cast<double>(mesh.registry().all().size()));
+        RealArray4& cons = block->cons();
+        RealArray4& cons0 = block->cons0();
+        RealArray4& dudt = block->dudt();
+        parFor(ctx, "WeightedSumData", costs, s.ks(), s.ke(), s.js(),
+               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
+                   for (int n = 0; n < ncomp; ++n)
+                       cons(n, k, j, i) = wa * cons0(n, k, j, i) +
+                                          wb * cons(n, k, j, i) +
+                                          wc * dt * dudt(n, k, j, i);
+               });
+    }
+}
+
+} // namespace
+
+void
+saveState(Mesh& mesh)
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "WeightedSumData");
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    const KernelCosts costs{0.0, ncomp * 2.0 * sizeof(double)};
+
+    for (const auto& block : mesh.blocks()) {
+        ctx.setCurrentRank(block->rank());
+        RealArray4& cons = block->cons();
+        RealArray4& cons0 = block->cons0();
+        parFor(ctx, "WeightedSumData", costs, s.ks(), s.ke(), s.js(),
+               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
+                   for (int n = 0; n < ncomp; ++n)
+                       cons0(n, k, j, i) = cons(n, k, j, i);
+               });
+    }
+}
+
+void
+stage1Update(Mesh& mesh, double dt)
+{
+    weightedSum(mesh, 1.0, 0.0, 1.0, dt);
+}
+
+void
+stage2Update(Mesh& mesh, double dt)
+{
+    weightedSum(mesh, 0.5, 0.5, 0.5, dt);
+}
+
+} // namespace vibe

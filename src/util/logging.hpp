@@ -1,0 +1,104 @@
+/**
+ * @file logging.hpp
+ * Error and status reporting utilities.
+ *
+ * Follows the gem5 convention: `fatal` for user errors that prevent the
+ * simulation from continuing (bad configuration, invalid arguments),
+ * `panic` for internal invariant violations (library bugs), `warn` for
+ * suspicious-but-survivable conditions, and `inform` for status messages.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vibe {
+
+/** Exception carrying a user-facing configuration/usage error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Exception carrying an internal invariant violation (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user error.
+ *
+ * Throws FatalError so tests can assert on misconfiguration handling; the
+ * top-level drivers catch it, print the message and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal invariant violation that should never happen
+ * regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr. Never stops execution. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Print an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/**
+ * Require a condition; panic with a message if it does not hold.
+ *
+ * Used for cheap always-on invariant checks at module boundaries (the
+ * expensive ones live in tests).
+ */
+template <typename... Args>
+void
+require(bool condition, Args&&... args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace vibe

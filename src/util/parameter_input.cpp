@@ -1,0 +1,179 @@
+#include "util/parameter_input.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+namespace {
+
+std::string
+trim(const std::string& s)
+{
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto b = std::find_if_not(s.begin(), s.end(), is_space);
+    auto e = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+    return b < e ? std::string(b, e) : std::string();
+}
+
+} // namespace
+
+ParameterInput
+ParameterInput::fromString(const std::string& text)
+{
+    ParameterInput pin;
+    std::istringstream in(text);
+    std::string line;
+    std::string block;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '<') {
+            if (line.back() != '>')
+                fatal("input deck line ", lineno, ": malformed block header '",
+                      line, "'");
+            block = trim(line.substr(1, line.size() - 2));
+            if (block.empty())
+                fatal("input deck line ", lineno, ": empty block name");
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("input deck line ", lineno, ": expected 'key = value', got '",
+                  line, "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("input deck line ", lineno, ": empty key");
+        pin.set(block, key, value);
+    }
+    return pin;
+}
+
+ParameterInput
+ParameterInput::fromFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open input deck '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+void
+ParameterInput::set(const std::string& block, const std::string& key,
+                    const std::string& value)
+{
+    values_[makeKey(block, key)] = value;
+}
+
+bool
+ParameterInput::has(const std::string& block, const std::string& key) const
+{
+    return find(block, key) != nullptr;
+}
+
+int
+ParameterInput::getInt(const std::string& block, const std::string& key,
+                       int default_value) const
+{
+    const std::string* v = find(block, key);
+    if (!v)
+        return default_value;
+    try {
+        std::size_t pos = 0;
+        int result = std::stoi(*v, &pos);
+        if (pos != v->size())
+            throw std::invalid_argument("trailing characters");
+        return result;
+    } catch (const std::exception&) {
+        fatal("parameter ", block, "/", key, " = '", *v,
+              "' is not an integer");
+    }
+}
+
+double
+ParameterInput::getReal(const std::string& block, const std::string& key,
+                        double default_value) const
+{
+    const std::string* v = find(block, key);
+    if (!v)
+        return default_value;
+    try {
+        std::size_t pos = 0;
+        double result = std::stod(*v, &pos);
+        if (pos != v->size())
+            throw std::invalid_argument("trailing characters");
+        return result;
+    } catch (const std::exception&) {
+        fatal("parameter ", block, "/", key, " = '", *v, "' is not a real");
+    }
+}
+
+bool
+ParameterInput::getBool(const std::string& block, const std::string& key,
+                        bool default_value) const
+{
+    const std::string* v = find(block, key);
+    if (!v)
+        return default_value;
+    std::string lower = *v;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
+        return true;
+    if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
+        return false;
+    fatal("parameter ", block, "/", key, " = '", *v, "' is not a boolean");
+}
+
+std::string
+ParameterInput::getString(const std::string& block, const std::string& key,
+                          const std::string& default_value) const
+{
+    const std::string* v = find(block, key);
+    return v ? *v : default_value;
+}
+
+int
+ParameterInput::requireInt(const std::string& block,
+                           const std::string& key) const
+{
+    if (!has(block, key))
+        fatal("required parameter ", block, "/", key, " is missing");
+    return getInt(block, key, 0);
+}
+
+double
+ParameterInput::requireReal(const std::string& block,
+                            const std::string& key) const
+{
+    if (!has(block, key))
+        fatal("required parameter ", block, "/", key, " is missing");
+    return getReal(block, key, 0.0);
+}
+
+std::string
+ParameterInput::makeKey(const std::string& block, const std::string& key)
+{
+    return block + "/" + key;
+}
+
+const std::string*
+ParameterInput::find(const std::string& block, const std::string& key) const
+{
+    auto it = values_.find(makeKey(block, key));
+    return it == values_.end() ? nullptr : &it->second;
+}
+
+} // namespace vibe

@@ -1,0 +1,65 @@
+/**
+ * @file parameter_input.hpp
+ * Athena/Parthenon-style input deck: `<block>` sections with
+ * `key = value  # comment` lines.
+ *
+ * Example:
+ * @code
+ * <parthenon/mesh>
+ * nx1 = 128        # cells in x
+ * <parthenon/meshblock>
+ * nx1 = 16
+ * @endcode
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace vibe {
+
+/** Parsed input deck with typed, defaulted accessors. */
+class ParameterInput
+{
+  public:
+    ParameterInput() = default;
+
+    /** Parse deck text; later duplicate keys override earlier ones. */
+    static ParameterInput fromString(const std::string& text);
+
+    /** Parse a deck file on disk. Fatal if unreadable. */
+    static ParameterInput fromFile(const std::string& path);
+
+    /** Set (or override) a value programmatically. */
+    void set(const std::string& block, const std::string& key,
+             const std::string& value);
+
+    bool has(const std::string& block, const std::string& key) const;
+
+    /** Typed getters: fatal if present but unparseable. */
+    int getInt(const std::string& block, const std::string& key,
+               int default_value) const;
+    double getReal(const std::string& block, const std::string& key,
+                   double default_value) const;
+    bool getBool(const std::string& block, const std::string& key,
+                 bool default_value) const;
+    std::string getString(const std::string& block, const std::string& key,
+                          const std::string& default_value) const;
+
+    /** Required variants: fatal if the key is missing. */
+    int requireInt(const std::string& block, const std::string& key) const;
+    double requireReal(const std::string& block,
+                       const std::string& key) const;
+
+    const std::map<std::string, std::string>& raw() const { return values_; }
+
+  private:
+    static std::string makeKey(const std::string& block,
+                               const std::string& key);
+    const std::string* find(const std::string& block,
+                            const std::string& key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace vibe

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+void
+Summary::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        min_ = max_ = x;
+        mean_ = x;
+        m2_ = 0.0;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
+}
+
+double
+Summary::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+void
+CounterSet::add(const std::string& name, double delta)
+{
+    counters_[name] += delta;
+}
+
+double
+CounterSet::value(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool
+CounterSet::has(const std::string& name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+CounterSet::reset()
+{
+    for (auto& [name, value] : counters_)
+        value = 0.0;
+}
+
+void
+CounterSet::merge(const CounterSet& other)
+{
+    for (const auto& [name, value] : other.all())
+        counters_[name] += value;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0)
+{
+    require(bins > 0 && hi > lo, "Histogram requires bins > 0 and hi > lo");
+}
+
+void
+Histogram::add(double x)
+{
+    int b = static_cast<int>((x - lo_) / width_);
+    b = std::clamp(b, 0, bins() - 1);
+    ++counts_[b];
+    ++total_;
+}
+
+} // namespace vibe

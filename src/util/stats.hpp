@@ -1,0 +1,95 @@
+/**
+ * @file stats.hpp
+ * Streaming statistics accumulators and named counter sets.
+ *
+ * The characterization harness accumulates per-phase work counts (cells
+ * updated, cells communicated, messages, bytes, ...) through these types;
+ * the performance model consumes them.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vibe {
+
+/** Welford-style streaming summary of a scalar sample set. */
+class Summary
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sample variance (n - 1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * A named set of monotonically growing counters.
+ *
+ * Lookup is by string for convenience at configuration time; hot paths
+ * should cache the returned reference (mirrors the paper's observation
+ * about string-based variable lookup cost, which we both *model* in the
+ * perf module and *avoid* in our own hot loops).
+ */
+class CounterSet
+{
+  public:
+    /** Add `delta` to counter `name`, creating it at zero if absent. */
+    void add(const std::string& name, double delta);
+
+    /** Value of `name`, or 0 if it was never touched. */
+    double value(const std::string& name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string& name) const;
+
+    /** Reset every counter to zero (names are retained). */
+    void reset();
+
+    /** Merge another counter set into this one (summing values). */
+    void merge(const CounterSet& other);
+
+    const std::map<std::string, double>& all() const { return counters_; }
+
+  private:
+    std::map<std::string, double> counters_;
+};
+
+/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int bins);
+
+    void add(double x);
+
+    int bins() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t binCount(int b) const { return counts_.at(b); }
+    std::uint64_t total() const { return total_; }
+    double binLow(int b) const { return lo_ + b * width_; }
+    double binHigh(int b) const { return lo_ + (b + 1) * width_; }
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace vibe

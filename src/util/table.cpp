@@ -1,0 +1,156 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    require(rows_.empty(), "Table header must be set before rows are added");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    require(header_.empty() || row.size() == header_.size(),
+            "Table row width ", row.size(), " does not match header width ",
+            header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        os << "| ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            os << cell << std::string(widths[c] - cell.size(), ' ');
+            os << (c + 1 < widths.size() ? " | " : " |\n");
+        }
+    };
+
+    std::size_t total = 4;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total - 3, '-') << "\n";
+    }
+    for (const auto& row : rows_)
+        emit(row);
+    for (const auto& note : notes_)
+        os << "  * " << note << "\n";
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 < row.size() ? "," : "");
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+formatSig(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatSci(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", decimals, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    return buf;
+}
+
+std::string
+formatRatio(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, ratio);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace vibe

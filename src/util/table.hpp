@@ -1,0 +1,65 @@
+/**
+ * @file table.hpp
+ * ASCII table emitter used by the benchmark harness to print the rows and
+ * series of every paper figure/table in a uniform, diffable format.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vibe {
+
+/** Column-aligned ASCII table with an optional title and footnotes. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Must be called before adding rows. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a footnote line printed under the table. */
+    void addNote(std::string note);
+
+    /** Render the table to `os`. */
+    void print(std::ostream& os) const;
+
+    /** Render the table as comma-separated values (no title/notes). */
+    void printCsv(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** Format a double with `digits` significant digits. */
+std::string formatSig(double value, int digits = 3);
+
+/** Format a double in fixed notation with `decimals` decimal places. */
+std::string formatFixed(double value, int decimals = 2);
+
+/** Format a double in scientific notation, e.g. "2.9e+07". */
+std::string formatSci(double value, int decimals = 2);
+
+/** Format a byte count with binary units, e.g. "75.5 GB". */
+std::string formatBytes(double bytes);
+
+/** Format a duration in seconds with adaptive units, e.g. "257.2 s". */
+std::string formatSeconds(double seconds);
+
+/** Format a ratio as a multiplier, e.g. "2.9x". */
+std::string formatRatio(double ratio, int decimals = 2);
+
+/** Format a fraction in [0,1] as a percentage, e.g. "22.7%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace vibe

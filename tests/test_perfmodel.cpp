@@ -1,0 +1,481 @@
+/**
+ * @file test_perfmodel.cpp
+ * Tests for the performance-model stack: occupancy calculator, kernel
+ * timing, serial cost model, memory model (incl. the §VIII-B closed
+ * forms), opcode model, and the assembled execution model's
+ * directional properties.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/execution_model.hpp"
+#include "perfmodel/memory_model.hpp"
+#include "perfmodel/occupancy.hpp"
+#include "perfmodel/opcode_model.hpp"
+#include "perfmodel/serial_model.hpp"
+
+namespace vibe {
+namespace {
+
+// --- PlatformConfig ---
+
+TEST(Platform, Labels)
+{
+    EXPECT_EQ(PlatformConfig::cpu(96).label(), "CPU 96R");
+    EXPECT_EQ(PlatformConfig::gpu(1, 12).label(), "1 GPU 12R");
+    EXPECT_EQ(PlatformConfig::gpu(8, 8).label(), "8 GPUs 8R");
+    EXPECT_EQ(PlatformConfig::gpu(1, 1, 2).label(), "1 GPU 1R x2N");
+}
+
+TEST(Platform, Validation)
+{
+    EXPECT_THROW(PlatformConfig::cpu(0), PanicError);
+    EXPECT_THROW(PlatformConfig::gpu(2, 1), PanicError);
+    EXPECT_DOUBLE_EQ(PlatformConfig::gpu(4, 16).ranksPerGpu(), 4.0);
+}
+
+TEST(Platform, RooflineKneeMatchesPaper)
+{
+    // Paper §VII-A: H100 operational intensity knee = 10.1 flops/byte.
+    GpuSpec gpu;
+    EXPECT_NEAR(gpu.rooflineKnee(), 10.1, 0.1);
+}
+
+// --- Occupancy ---
+
+TEST(Occupancy, CalculateFluxesRegisterLimit)
+{
+    // >100 regs/thread with 128-thread blocks -> 4 blocks/SM ->
+    // 16 warps = 25% (paper: ~24%, "active warps limited to four"
+    // blocks).
+    GpuSpec gpu;
+    auto occ = computeOccupancy({104, 128, 0}, gpu);
+    EXPECT_EQ(occ.blocksPerSm, 4);
+    EXPECT_EQ(occ.activeWarpsPerSm, 16);
+    EXPECT_NEAR(occ.occupancy, 0.25, 1e-12);
+}
+
+TEST(Occupancy, LowRegisterKernelsReachFullOccupancy)
+{
+    GpuSpec gpu;
+    auto occ = computeOccupancy({32, 128, 0}, gpu);
+    EXPECT_NEAR(occ.occupancy, 1.0, 1e-12);
+}
+
+TEST(Occupancy, MidRegisterKernels)
+{
+    GpuSpec gpu;
+    EXPECT_NEAR(computeOccupancy({64, 128, 0}, gpu).occupancy, 0.5,
+                1e-12);
+    EXPECT_NEAR(computeOccupancy({80, 128, 0}, gpu).occupancy, 0.375,
+                1e-12);
+}
+
+TEST(Occupancy, SharedMemoryLimits)
+{
+    GpuSpec gpu;
+    auto occ = computeOccupancy({32, 128, 114 * 1024}, gpu);
+    EXPECT_EQ(occ.blocksPerSm, 2);
+}
+
+TEST(Occupancy, MonotoneInRegisters)
+{
+    GpuSpec gpu;
+    double prev = 1.0;
+    for (int regs : {32, 48, 64, 96, 128, 192, 255}) {
+        const double occ = computeOccupancy({regs, 128, 0}, gpu).occupancy;
+        EXPECT_LE(occ, prev + 1e-12) << regs;
+        prev = occ;
+    }
+}
+
+// --- KernelModel ---
+
+KernelStats
+makeStats(double items, double flops_per_item, double bytes_per_item,
+          double inner, std::uint64_t launches = 100)
+{
+    KernelStats stats;
+    stats.launches = launches;
+    stats.items = items;
+    stats.flops = items * flops_per_item;
+    stats.bytes = items * bytes_per_item;
+    stats.innermostSum = inner * static_cast<double>(launches);
+    return stats;
+}
+
+TEST(KernelModel, GpuDurationScalesWithWork)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    const auto small = model.evaluateGpu(
+        "CalculateFluxes", makeStats(1e6, 4000, 1100, 32), gpu);
+    const auto large = model.evaluateGpu(
+        "CalculateFluxes", makeStats(4e6, 4000, 1100, 32), gpu);
+    EXPECT_GT(large.duration, 3.0 * small.duration);
+}
+
+TEST(KernelModel, NarrowRowsDegradeWarpUtilAndSmUtil)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    const auto wide = model.evaluateGpu(
+        "CalculateFluxes", makeStats(1e6, 4000, 1100, 32), gpu);
+    const auto narrow = model.evaluateGpu(
+        "CalculateFluxes", makeStats(1e6, 4000, 1100, 16), gpu);
+    EXPECT_GT(wide.warpUtil, narrow.warpUtil);
+    EXPECT_GT(wide.smUtil, narrow.smUtil);
+    // Paper Table III: warp util 94 -> 68, SM util 95 -> 32.
+    EXPECT_NEAR(wide.warpUtil, 0.94, 0.05);
+    EXPECT_NEAR(narrow.warpUtil, 0.68, 0.08);
+    EXPECT_NEAR(wide.smUtil, 0.95, 0.05);
+    EXPECT_NEAR(narrow.smUtil, 0.32, 0.08);
+}
+
+TEST(KernelModel, LaunchOverheadDominatesTinyKernels)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    // Many tiny launches: duration ~ launches x (pack-amortized)
+    // overhead, far above the roofline time of the tiny payload.
+    const Calibration cal;
+    const auto timing = model.evaluateGpu(
+        "SetBounds", makeStats(1e4, 1, 16, 8, 10000), gpu);
+    EXPECT_GT(timing.duration, 10000 * cal.gpu.launchOverhead * 0.99);
+    EXPECT_GT(timing.duration, 10.0 * (1e4 * 16) /
+                                   (gpu.hbmBandwidthGBs * 1e9));
+}
+
+TEST(KernelModel, ArithmeticIntensityReported)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    const auto timing = model.evaluateGpu(
+        "CalculateFluxes", makeStats(1e6, 4400, 1000, 32), gpu);
+    EXPECT_NEAR(timing.arithIntensity, 4.4, 1e-9);
+}
+
+TEST(KernelModel, MemoryBoundKernelTracksBandwidth)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    // Few launches so per-launch overhead does not mask the
+    // bandwidth bound.
+    const auto timing = model.evaluateGpu(
+        "WeightedSumData", makeStats(1e7, 55, 350, 32, 10), gpu);
+    EXPECT_TRUE(timing.memoryBound);
+    // BW util should approach the kernel's memEfficiency (0.52).
+    EXPECT_NEAR(timing.bwUtil, 0.52, 0.07);
+}
+
+TEST(KernelModel, OccupancyColumnsMatchPaperShape)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    auto occ_of = [&](const char* name) {
+        return model
+            .evaluateGpu(name, makeStats(1e6, 100, 100, 32), gpu)
+            .occupancy;
+    };
+    EXPECT_NEAR(occ_of("CalculateFluxes"), 0.25, 0.03);  // paper 24.1%
+    EXPECT_NEAR(occ_of("WeightedSumData"), 1.00, 0.10);  // paper 92.7%
+    EXPECT_NEAR(occ_of("SetBounds"), 0.50, 0.05);        // paper 51.5%
+    EXPECT_NEAR(occ_of("FluxDivergence"), 1.00, 0.10);   // paper 94.5%
+    EXPECT_NEAR(occ_of("EstTimeMesh"), 0.25, 0.03);      // paper 24.2%
+    EXPECT_NEAR(occ_of("CalculateDerived"), 0.375, 0.05); // paper 36.9%
+}
+
+TEST(KernelModel, CpuKernelsScaleWithRanks)
+{
+    KernelModel model{Calibration{}};
+    CpuSpec cpu;
+    const auto stats = makeStats(1e8, 400, 300, 32);
+    const double t16 = model.evaluateCpu(stats, cpu, 16);
+    const double t96 = model.evaluateCpu(stats, cpu, 96);
+    EXPECT_GT(t16, t96);
+    EXPECT_GT(t16 / t96, 2.0); // sub-linear due to bandwidth ceiling
+}
+
+TEST(KernelModel, UnknownKernelUsesGenericDescriptor)
+{
+    KernelModel model{Calibration{}};
+    GpuSpec gpu;
+    const auto timing =
+        model.evaluateGpu("SomethingNew", makeStats(1e6, 10, 80, 32),
+                          gpu);
+    EXPECT_GT(timing.duration, 0.0);
+    EXPECT_GT(timing.occupancy, 0.0);
+}
+
+// --- SerialModel ---
+
+TEST(SerialModel, ReplicatedWorkIgnoresRanks)
+{
+    SerialModel model{Calibration{}};
+    const double t1 =
+        model.evaluate("tree_update_flags", 1e6, PlatformConfig::cpu(1));
+    const double t96 = model.evaluate("tree_update_flags", 1e6,
+                                      PlatformConfig::cpu(96));
+    EXPECT_DOUBLE_EQ(t1, t96);
+    EXPECT_TRUE(SerialModel::isReplicated("tree_update_flags"));
+    EXPECT_FALSE(SerialModel::isReplicated("recv_poll"));
+}
+
+TEST(SerialModel, DistributedWorkDividesByRanks)
+{
+    SerialModel model{Calibration{}};
+    const double t1 =
+        model.evaluate("bound_buf_metadata", 1e6, PlatformConfig::cpu(1));
+    const double t8 = model.evaluate("bound_buf_metadata", 1e6,
+                                     PlatformConfig::cpu(8));
+    // Near-ideal division, damped by the rank-saturation term.
+    EXPECT_GT(t1 / t8, 6.0);
+    EXPECT_LE(t1 / t8, 8.0);
+}
+
+TEST(SerialModel, CollectivesGrowWithRanks)
+{
+    SerialModel model{Calibration{}};
+    const double t2 =
+        model.evaluate("collective", 100, PlatformConfig::gpu(1, 2));
+    const double t16 =
+        model.evaluate("collective", 100, PlatformConfig::gpu(1, 16));
+    EXPECT_GT(t16, t2);
+}
+
+TEST(SerialModel, GpuMetadataPaysH2dPenalty)
+{
+    SerialModel model{Calibration{}};
+    const double cpu = model.evaluate("buffer_cache_metadata", 1e5,
+                                      PlatformConfig::cpu(4));
+    const double gpu = model.evaluate("buffer_cache_metadata", 1e5,
+                                      PlatformConfig::gpu(1, 4));
+    EXPECT_GT(gpu, 2.0 * cpu);
+}
+
+TEST(SerialModel, SortCostIsSuperlinear)
+{
+    SerialModel model{Calibration{}};
+    const double t1 = model.evaluate("buffer_cache_keys", 1e4,
+                                     PlatformConfig::cpu(1));
+    const double t2 = model.evaluate("buffer_cache_keys", 2e4,
+                                     PlatformConfig::cpu(1));
+    EXPECT_GT(t2, 2.0 * t1);
+}
+
+TEST(SerialModel, MultiNodeRemoteBytesCostMore)
+{
+    SerialModel model{Calibration{}};
+    const double one = model.evaluate("msg_remote_bytes", 1e9,
+                                      PlatformConfig::cpu(96, 1));
+    const double two = model.evaluate("msg_remote_bytes", 1e9,
+                                      PlatformConfig::cpu(96, 2));
+    EXPECT_GT(two, one);
+}
+
+// --- MemoryModel ---
+
+TEST(MemoryModel, PaperSection8bClosedForms)
+{
+    // §VIII-B worked example: nx1 = 8, ng = 4, num_scalar = 8,
+    // 4096 MeshBlocks -> 8.858 GB; 1024 ThreadBlocks, d = 2 ->
+    // 0.138 GB.
+    const double before =
+        MemoryModel::auxBytesUnoptimized(4096, 8, 4, 8);
+    EXPECT_NEAR(before / 1e9, 8.858, 0.01);
+    const double after =
+        MemoryModel::auxBytesOptimized(1024, 8, 4, 8, 2);
+    EXPECT_NEAR(after / 1e9, 0.138, 0.001);
+    EXPECT_GT(before / after, 60.0);
+}
+
+TEST(MemoryModel, GpuOomWallAtHighRanks)
+{
+    // Anchor §IV-E: mesh 128/B8/L3 with 12 ranks/GPU ~ 75.5 GB (fits);
+    // 16 ranks OOMs. Kokkos bytes chosen at the anchor's scale.
+    MemoryModel model{Calibration{}, GpuSpec{}, CpuSpec{}};
+    MemoryInputs inputs12;
+    inputs12.kokkosBytes = static_cast<std::size_t>(24.0 * (1ull << 30));
+    inputs12.remoteWireBytes = 2e8;
+    inputs12.remoteMsgsPerCycle = 8e4;
+    auto inputs16 = inputs12;
+    inputs16.remoteMsgsPerCycle = 1.05e5; // more ranks, more traffic
+    const auto r12 = model.evaluate(inputs12, PlatformConfig::gpu(1, 12));
+    const auto r16 = model.evaluate(inputs16, PlatformConfig::gpu(1, 16));
+    EXPECT_FALSE(r12.oom);
+    EXPECT_NEAR(r12.totalGB, 75.5, 12.0);
+    EXPECT_TRUE(r16.oom);
+}
+
+TEST(MemoryModel, KokkosTermConstantAcrossRanks)
+{
+    MemoryModel model{Calibration{}, GpuSpec{}, CpuSpec{}};
+    MemoryInputs inputs;
+    inputs.kokkosBytes = 10ull << 30;
+    const auto a = model.evaluate(inputs, PlatformConfig::gpu(1, 2));
+    const auto b = model.evaluate(inputs, PlatformConfig::gpu(1, 8));
+    EXPECT_DOUBLE_EQ(a.kokkosGB, b.kokkosGB);
+    EXPECT_GT(b.mpiGB, a.mpiGB);
+}
+
+TEST(MemoryModel, MultiGpuSplitsFootprint)
+{
+    MemoryModel model{Calibration{}, GpuSpec{}, CpuSpec{}};
+    MemoryInputs inputs;
+    inputs.kokkosBytes = 64ull << 30;
+    const auto one = model.evaluate(inputs, PlatformConfig::gpu(1, 1));
+    const auto four = model.evaluate(inputs, PlatformConfig::gpu(4, 4));
+    EXPECT_NEAR(four.kokkosGB, one.kokkosGB / 4.0, 1e-9);
+}
+
+TEST(MemoryModel, CpuCapacityIsNodeDram)
+{
+    MemoryModel model{Calibration{}, GpuSpec{}, CpuSpec{}};
+    MemoryInputs inputs;
+    inputs.kokkosBytes = 100ull << 30;
+    const auto report =
+        model.evaluate(inputs, PlatformConfig::cpu(96));
+    EXPECT_DOUBLE_EQ(report.capacityGB, 1024.0);
+    EXPECT_FALSE(report.oom);
+}
+
+// --- OpcodeModel ---
+
+TEST(OpcodeModel, MixesNormalize)
+{
+    OpcodeModel model;
+    auto kernel = model.kernelCounts(1e9, 3e8, 1e7, 32);
+    const auto& m = kernel.mix;
+    EXPECT_NEAR(m.ldst + m.vec + m.fp + m.intg + m.reg + m.ctrl +
+                    m.other,
+                1.0, 1e-9);
+    EXPECT_GT(kernel.instructions, 0.0);
+}
+
+TEST(OpcodeModel, VectorShareShrinksWithNarrowRows)
+{
+    // Paper Fig. 13: kernel vector share 63% (B32) -> 52% (B16).
+    OpcodeModel model;
+    const auto wide = model.kernelCounts(1e9, 3e8, 1e7, 32);
+    const auto narrow = model.kernelCounts(1e9, 3e8, 1e7, 16);
+    EXPECT_GT(wide.mix.vec, narrow.mix.vec);
+}
+
+TEST(OpcodeModel, SerialMixIsLoadStoreHeavy)
+{
+    OpcodeModel model;
+    const auto serial = model.serialCounts(1e6);
+    EXPECT_NEAR(serial.mix.ldst, 0.40, 0.02); // paper: 39-41%
+    EXPECT_LT(serial.mix.vec, 0.05);
+}
+
+TEST(OpcodeModel, KernelInstructionsDominateTotal)
+{
+    // Paper: kernel instructions are >99% of the total.
+    OpcodeModel model;
+    const auto kernel = model.kernelCounts(1e11, 3e10, 1e9, 32);
+    const auto serial = model.serialCounts(1e6);
+    const auto total = OpcodeModel::combine(kernel, serial);
+    EXPECT_GT(kernel.instructions / total.instructions, 0.99);
+}
+
+// --- ExecutionModel directional properties ---
+
+RunArtifacts
+syntheticArtifacts(KernelProfiler& profiler)
+{
+    // Small synthetic workload: one compute kernel + serial records.
+    profiler.setPhase("CalculateFluxes");
+    for (int rank = 0; rank < 4; ++rank)
+        profiler.record({"CalculateFluxes", "", rank, 50, 2.5e7, 1e11,
+                         2.5e10, 16});
+    profiler.setPhase("SendBoundBufs");
+    profiler.recordSerial({"", "bound_buf_metadata", 0, 2e5});
+    profiler.setPhase("UpdateMeshBlockTree");
+    profiler.recordSerial({"", "tree_update_flags", 0, 4e4});
+    profiler.recordSerial({"", "collective", 0, 20});
+
+    RunArtifacts artifacts;
+    artifacts.profiler = &profiler;
+    artifacts.ncycles = 10;
+    artifacts.zoneCycles = 4e7;
+    artifacts.kokkosBytes = 4ull << 30;
+    artifacts.remoteWireBytes = 1e7;
+    artifacts.remoteMsgsPerCycle = 1e4;
+    return artifacts;
+}
+
+TEST(ExecutionModel, PhasesPopulated)
+{
+    KernelProfiler profiler;
+    auto artifacts = syntheticArtifacts(profiler);
+    ExecutionModel model;
+    const auto report =
+        model.evaluate(artifacts, PlatformConfig::gpu(1, 1));
+    EXPECT_GT(report.phaseTotal("CalculateFluxes"), 0.0);
+    EXPECT_GT(report.phaseTotal("SendBoundBufs"), 0.0);
+    EXPECT_GT(report.phaseTotal("UpdateMeshBlockTree"), 0.0);
+    EXPECT_DOUBLE_EQ(report.phaseTotal("Nonexistent"), 0.0);
+    EXPECT_NEAR(report.totalTime,
+                report.kernelTime + report.serialTime, 1e-12);
+    EXPECT_GT(report.fom, 0.0);
+}
+
+TEST(ExecutionModel, MoreRanksPerGpuReduceSerialTime)
+{
+    KernelProfiler profiler;
+    auto artifacts = syntheticArtifacts(profiler);
+    ExecutionModel model;
+    const auto r1 = model.evaluate(artifacts, PlatformConfig::gpu(1, 1));
+    const auto r8 = model.evaluate(artifacts, PlatformConfig::gpu(1, 8));
+    EXPECT_LT(r8.serialTime, r1.serialTime);
+    EXPECT_GT(r8.fom, r1.fom);
+}
+
+TEST(ExecutionModel, MoreGpusReduceKernelTime)
+{
+    KernelProfiler profiler;
+    auto artifacts = syntheticArtifacts(profiler);
+    ExecutionModel model;
+    const auto g1 = model.evaluate(artifacts, PlatformConfig::gpu(1, 4));
+    const auto g4 = model.evaluate(artifacts, PlatformConfig::gpu(4, 4));
+    EXPECT_LT(g4.kernelTime, g1.kernelTime);
+}
+
+TEST(ExecutionModel, CpuStrongScalingShape)
+{
+    KernelProfiler profiler;
+    auto artifacts = syntheticArtifacts(profiler);
+    ExecutionModel model;
+    double prev_total = 1e30;
+    for (int ranks : {4, 8, 16, 32, 48}) {
+        const auto report =
+            model.evaluate(artifacts, PlatformConfig::cpu(ranks));
+        EXPECT_LT(report.totalTime, prev_total) << ranks << " ranks";
+        prev_total = report.totalTime;
+    }
+}
+
+TEST(ExecutionModel, KernelTableOnGpuOnly)
+{
+    KernelProfiler profiler;
+    auto artifacts = syntheticArtifacts(profiler);
+    ExecutionModel model;
+    const auto gpu = model.evaluate(artifacts, PlatformConfig::gpu(1, 1));
+    EXPECT_TRUE(gpu.kernels.count("CalculateFluxes"));
+    EXPECT_GT(gpu.e2eSmUtil, 0.0);
+    const auto cpu = model.evaluate(artifacts, PlatformConfig::cpu(16));
+    EXPECT_TRUE(cpu.kernels.empty());
+}
+
+TEST(ExecutionModel, RequiresProfiler)
+{
+    RunArtifacts artifacts;
+    ExecutionModel model;
+    EXPECT_THROW(model.evaluate(artifacts, PlatformConfig::cpu(1)),
+                 PanicError);
+}
+
+} // namespace
+} // namespace vibe

@@ -1,0 +1,425 @@
+/**
+ * @file test_tree.cpp
+ * Unit and property tests for LogicalLocation and BlockTree: Morton
+ * algebra, 2:1 balance, exact covering, neighbor enumeration, and the
+ * refinement-flag update pass.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "mesh/block_tree.hpp"
+#include "mesh/logical_location.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace vibe {
+namespace {
+
+// --- LogicalLocation ---
+
+TEST(LogicalLocation, ParentChildRoundTrip)
+{
+    const LogicalLocation loc{2, 3, 1, 2};
+    for (int o3 = 0; o3 <= 1; ++o3)
+        for (int o2 = 0; o2 <= 1; ++o2)
+            for (int o1 = 0; o1 <= 1; ++o1) {
+                const LogicalLocation kid = loc.child(o1, o2, o3);
+                EXPECT_EQ(kid.level, 3);
+                EXPECT_EQ(kid.parent(), loc);
+                EXPECT_EQ(kid.childIndexInParent(),
+                          o1 | (o2 << 1) | (o3 << 2));
+            }
+}
+
+TEST(LogicalLocation, ParentOfRootPanics)
+{
+    EXPECT_THROW((LogicalLocation{0, 0, 0, 0}.parent()), PanicError);
+}
+
+TEST(LogicalLocation, ContainsSelfAndDescendants)
+{
+    const LogicalLocation loc{1, 1, 0, 1};
+    EXPECT_TRUE(loc.contains(loc));
+    EXPECT_TRUE(loc.contains(loc.child(1, 1, 0)));
+    EXPECT_TRUE(loc.contains(loc.child(0, 0, 0).child(1, 0, 1)));
+    EXPECT_FALSE(loc.contains(LogicalLocation{1, 0, 0, 1}));
+    EXPECT_FALSE(loc.contains(loc.parent()));
+}
+
+TEST(LogicalLocation, MortonInterleaveKnownValues)
+{
+    EXPECT_EQ(mortonInterleave(0, 0, 0), 0u);
+    EXPECT_EQ(mortonInterleave(1, 0, 0), 1u);
+    EXPECT_EQ(mortonInterleave(0, 1, 0), 2u);
+    EXPECT_EQ(mortonInterleave(0, 0, 1), 4u);
+    EXPECT_EQ(mortonInterleave(1, 1, 1), 7u);
+    EXPECT_EQ(mortonInterleave(2, 0, 0), 8u);
+}
+
+TEST(LogicalLocation, MortonKeyOrdersSiblingsByOctant)
+{
+    const LogicalLocation parent{0, 0, 0, 0};
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (int idx = 0; idx < 8; ++idx) {
+        const auto kid =
+            parent.child(idx & 1, (idx >> 1) & 1, (idx >> 2) & 1);
+        const std::uint64_t key = kid.mortonKey(3);
+        if (!first) {
+            EXPECT_GT(key, prev);
+        }
+        prev = key;
+        first = false;
+    }
+}
+
+TEST(LogicalLocation, MortonKeyRequiresDeepEnoughReference)
+{
+    EXPECT_THROW((LogicalLocation{3, 0, 0, 0}.mortonKey(2)), PanicError);
+}
+
+TEST(LogicalLocation, HashDistinguishesLevels)
+{
+    LogicalLocationHash h;
+    EXPECT_NE(h(LogicalLocation{0, 1, 0, 0}),
+              h(LogicalLocation{1, 1, 0, 0}));
+}
+
+TEST(LogicalLocation, StrFormat)
+{
+    EXPECT_EQ((LogicalLocation{2, 3, 1, 0}.str()), "(L2: 3,1,0)");
+}
+
+// --- BlockTree basics ---
+
+TreeConfig
+cube(int nb, int max_level, int ndim = 3, bool periodic = true)
+{
+    TreeConfig config;
+    config.ndim = ndim;
+    config.nbx1 = nb;
+    config.nbx2 = ndim >= 2 ? nb : 1;
+    config.nbx3 = ndim >= 3 ? nb : 1;
+    config.maxLevel = max_level;
+    config.periodic1 = config.periodic2 = config.periodic3 = periodic;
+    return config;
+}
+
+TEST(BlockTree, BaseGridLeafCount)
+{
+    BlockTree tree(cube(4, 2));
+    EXPECT_EQ(tree.leafCount(), 64u);
+    EXPECT_EQ(tree.maxPresentLevel(), 0);
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, RejectsBadConfig)
+{
+    TreeConfig config = cube(4, 2);
+    config.ndim = 4;
+    EXPECT_THROW(BlockTree{config}, PanicError);
+    config = cube(4, 2);
+    config.nbx1 = 0;
+    EXPECT_THROW(BlockTree{config}, PanicError);
+    config = cube(4, 2, 2);
+    config.nbx3 = 3;
+    EXPECT_THROW(BlockTree{config}, PanicError);
+}
+
+TEST(BlockTree, RefineSplitsInto8Children3D)
+{
+    BlockTree tree(cube(2, 2));
+    tree.refine({0, 0, 0, 0});
+    EXPECT_EQ(tree.leafCount(), 8u - 1u + 8u);
+    EXPECT_FALSE(tree.isLeaf({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.exists({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.isLeaf({1, 1, 1, 1}));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, RefineSplitsInto4Children2D)
+{
+    BlockTree tree(cube(2, 2, 2));
+    tree.refine({0, 0, 0, 0});
+    EXPECT_EQ(tree.leafCount(), 4u - 1u + 4u);
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, RefineSplitsInto2Children1D)
+{
+    BlockTree tree(cube(4, 2, 1));
+    tree.refine({0, 1, 0, 0});
+    EXPECT_EQ(tree.leafCount(), 4u - 1u + 2u);
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, RefineBeyondMaxLevelIsNoop)
+{
+    BlockTree tree(cube(2, 0));
+    tree.refine({0, 0, 0, 0});
+    EXPECT_EQ(tree.leafCount(), 8u);
+}
+
+TEST(BlockTree, RefineNonLeafIsNoop)
+{
+    BlockTree tree(cube(2, 2));
+    tree.refine({0, 0, 0, 0});
+    const std::size_t count = tree.leafCount();
+    tree.refine({0, 0, 0, 0}); // now internal
+    EXPECT_EQ(tree.leafCount(), count);
+}
+
+TEST(BlockTree, DerefineMergesChildren)
+{
+    BlockTree tree(cube(2, 2));
+    tree.refine({0, 0, 0, 0});
+    EXPECT_TRUE(tree.derefine({0, 0, 0, 0}));
+    EXPECT_EQ(tree.leafCount(), 8u);
+    EXPECT_TRUE(tree.isLeaf({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, DerefineFailsWhenChildRefined)
+{
+    BlockTree tree(cube(2, 2));
+    tree.refine({0, 0, 0, 0});
+    tree.refine({1, 0, 0, 0});
+    EXPECT_FALSE(tree.derefine({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTree, TwoToOnePropagationOnRefine)
+{
+    // Refining twice in one corner forces neighbors of the L1 block to
+    // refine so no L2 leaf touches an L0 leaf.
+    BlockTree tree(cube(4, 3));
+    tree.refine({0, 0, 0, 0});
+    std::vector<LogicalLocation> refined;
+    tree.refine({1, 0, 0, 0}, &refined);
+    EXPECT_TRUE(tree.checkBalance());
+    // The L2 children of (1;0,0,0) touch, across the periodic wrap,
+    // regions covered by L0 leaves like (0;3,0,0): those must have
+    // been split as part of balancing.
+    EXPECT_FALSE(tree.isLeaf({0, 3, 0, 0}));
+    EXPECT_GT(refined.size(), 1u);
+}
+
+TEST(BlockTree, DerefineBlockedByTwoToOne)
+{
+    BlockTree tree(cube(4, 3));
+    tree.refine({0, 0, 0, 0});
+    tree.refine({1, 0, 0, 0}); // forces neighbors of (0;0,0,0) to L1
+    // Merging (0;0,0,0)'s children back would place an L0 leaf next to
+    // the L2 leaves: must be refused.
+    EXPECT_FALSE(tree.derefine({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+// --- Neighbors ---
+
+TEST(BlockTree, UniformNeighborCounts3D)
+{
+    BlockTree tree(cube(4, 1));
+    // Periodic uniform mesh: every block has 26 neighbors.
+    for (const auto& loc : tree.leavesZOrder())
+        EXPECT_EQ(tree.neighbors(loc).size(), 26u) << loc.str();
+}
+
+TEST(BlockTree, UniformNeighborCounts2D)
+{
+    BlockTree tree(cube(4, 1, 2));
+    for (const auto& loc : tree.leavesZOrder())
+        EXPECT_EQ(tree.neighbors(loc).size(), 8u);
+}
+
+TEST(BlockTree, NonPeriodicCornerHasFewerNeighbors)
+{
+    BlockTree tree(cube(4, 1, 3, /*periodic=*/false));
+    EXPECT_EQ(tree.neighbors({0, 0, 0, 0}).size(), 7u); // 3 faces,3 edges,1 corner
+    EXPECT_EQ(tree.neighbors({0, 1, 1, 1}).size(), 26u);
+}
+
+TEST(BlockTree, NeighborSymmetrySameLevel)
+{
+    BlockTree tree(cube(4, 1));
+    for (const auto& loc : tree.leavesZOrder()) {
+        for (const auto& nb : tree.neighbors(loc)) {
+            bool found = false;
+            for (const auto& back : tree.neighbors(nb.loc))
+                if (back.loc == loc)
+                    found = true;
+            EXPECT_TRUE(found) << loc.str() << " -> " << nb.loc.str();
+        }
+    }
+}
+
+TEST(BlockTree, FineNeighborsEnumeratedPerChild)
+{
+    BlockTree tree(cube(2, 2, 2)); // 2-D quadtree
+    tree.refine({0, 1, 0, 0});
+    // (0;0,0) sees the two touching children of (0;1,0) across +x.
+    int fine_seen = 0;
+    for (const auto& nb : tree.neighbors({0, 0, 0, 0}))
+        if (nb.loc.level == 1 && nb.ox1 == 1 && nb.ox2 == 0)
+            ++fine_seen;
+    EXPECT_EQ(fine_seen, 2);
+}
+
+TEST(BlockTree, CoarseNeighborSeenFromFineSide)
+{
+    BlockTree tree(cube(2, 2, 2));
+    tree.refine({0, 1, 0, 0});
+    // Child (1;2,0) of (0;1,0) borders coarse leaf (0;0,0) across -x.
+    bool coarse_found = false;
+    for (const auto& nb : tree.neighbors({1, 2, 0, 0}))
+        if (nb.loc == LogicalLocation{0, 0, 0, 0} && nb.ox1 == -1)
+            coarse_found = true;
+    EXPECT_TRUE(coarse_found);
+}
+
+TEST(BlockTree, CoveringLeafWalksUp)
+{
+    BlockTree tree(cube(2, 2));
+    auto leaf = tree.coveringLeaf({2, 3, 3, 3});
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(*leaf, (LogicalLocation{0, 0, 0, 0}));
+    EXPECT_FALSE(tree.coveringLeaf({0, 5, 0, 0}).has_value());
+}
+
+TEST(BlockTree, ZOrderIsDeterministicAndComplete)
+{
+    BlockTree tree(cube(2, 2));
+    tree.refine({0, 1, 1, 1});
+    const auto order1 = tree.leavesZOrder();
+    const auto order2 = tree.leavesZOrder();
+    EXPECT_EQ(order1, order2);
+    EXPECT_EQ(order1.size(), tree.leafCount());
+    std::set<std::pair<int, std::int64_t>> unique;
+    for (const auto& loc : order1)
+        unique.insert({loc.level, loc.mortonKey(3)});
+    EXPECT_EQ(unique.size(), order1.size());
+}
+
+TEST(BlockTree, LogicalLevelOffset)
+{
+    EXPECT_EQ(BlockTree(cube(4, 0)).logicalLevelOffset(), 2);
+    // Fig. 2: a 5x4 base grid needs 3 doublings of a single root.
+    TreeConfig config;
+    config.ndim = 2;
+    config.nbx1 = 5;
+    config.nbx2 = 4;
+    config.nbx3 = 1;
+    config.maxLevel = 2;
+    EXPECT_EQ(BlockTree(config).logicalLevelOffset(), 3);
+}
+
+// --- update() ---
+
+TEST(BlockTreeUpdate, RefinesFlaggedLeaves)
+{
+    BlockTree tree(cube(4, 2));
+    RefinementFlagMap flags;
+    flags[{0, 0, 0, 0}] = RefinementFlag::Refine;
+    flags[{0, 3, 3, 3}] = RefinementFlag::Refine;
+    auto result = tree.update(flags);
+    EXPECT_EQ(result.refined.size(), 2u);
+    EXPECT_TRUE(result.derefined.empty());
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTreeUpdate, DerefinesFullSiblingSets)
+{
+    BlockTree tree(cube(4, 2));
+    tree.refine({0, 0, 0, 0});
+    RefinementFlagMap flags;
+    for (int idx = 0; idx < 8; ++idx)
+        flags[LogicalLocation{0, 0, 0, 0}.child(idx & 1, (idx >> 1) & 1,
+                                                (idx >> 2) & 1)] =
+            RefinementFlag::Derefine;
+    auto result = tree.update(flags);
+    EXPECT_EQ(result.derefined.size(), 1u);
+    EXPECT_TRUE(tree.isLeaf({0, 0, 0, 0}));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTreeUpdate, PartialSiblingFlagsDoNotMerge)
+{
+    BlockTree tree(cube(4, 2));
+    tree.refine({0, 0, 0, 0});
+    RefinementFlagMap flags;
+    flags[LogicalLocation{0, 0, 0, 0}.child(0, 0, 0)] =
+        RefinementFlag::Derefine;
+    auto result = tree.update(flags);
+    EXPECT_TRUE(result.derefined.empty());
+}
+
+TEST(BlockTreeUpdate, RefineWinsOverDerefineInSameSet)
+{
+    BlockTree tree(cube(4, 2));
+    tree.refine({0, 0, 0, 0});
+    RefinementFlagMap flags;
+    for (int idx = 0; idx < 8; ++idx)
+        flags[LogicalLocation{0, 0, 0, 0}.child(idx & 1, (idx >> 1) & 1,
+                                                (idx >> 2) & 1)] =
+            RefinementFlag::Derefine;
+    // One sibling also wants to refine: the set must not merge.
+    flags[LogicalLocation{0, 0, 0, 0}.child(0, 0, 0)] =
+        RefinementFlag::Refine;
+    auto result = tree.update(flags);
+    EXPECT_TRUE(result.derefined.empty());
+    // The refine went through (plus any 2:1 propagation splits).
+    EXPECT_GE(result.refined.size(), 1u);
+    EXPECT_FALSE(tree.isLeaf(LogicalLocation{0, 0, 0, 0}.child(0, 0, 0)));
+    EXPECT_TRUE(tree.checkBalance());
+}
+
+TEST(BlockTreeUpdate, MaxLevelCapsRefinement)
+{
+    BlockTree tree(cube(2, 1));
+    tree.refine({0, 0, 0, 0});
+    RefinementFlagMap flags;
+    flags[{1, 0, 0, 0}] = RefinementFlag::Refine; // already at cap
+    auto result = tree.update(flags);
+    EXPECT_TRUE(result.refined.empty());
+}
+
+// --- Property test: random refine/derefine storms keep invariants ---
+
+class BlockTreeFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BlockTreeFuzz, RandomUpdatesPreserveBalanceAndCovering)
+{
+    Rng rng(GetParam());
+    BlockTree tree(cube(4, 3));
+    for (int round = 0; round < 12; ++round) {
+        RefinementFlagMap flags;
+        const auto leaves = tree.leavesZOrder();
+        for (const auto& loc : leaves) {
+            const double p = rng.uniform();
+            if (p < 0.15)
+                flags[loc] = RefinementFlag::Refine;
+            else if (p < 0.45)
+                flags[loc] = RefinementFlag::Derefine;
+        }
+        tree.update(flags);
+        ASSERT_TRUE(tree.checkBalance()) << "round " << round;
+        // Exact covering: leaf volumes at reference resolution sum to
+        // the domain volume.
+        std::uint64_t volume = 0;
+        tree.forEachLeaf([&](const LogicalLocation& loc) {
+            const int shift = 3 * (3 - loc.level);
+            volume += std::uint64_t{1} << shift;
+        });
+        EXPECT_EQ(volume, 64ull * 512ull);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockTreeFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace vibe
