@@ -230,12 +230,17 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
 
     if (ch.levelDiff >= 0) {
         // Same level or pre-restricted: straight copy into recv box.
+        // One size check up front, then unchecked indexing in the
+        // per-cell loop (matching the slab branch below).
+        require(msg.payload.size() ==
+                    static_cast<std::size_t>(ch.recv.cells()) * ncomp,
+                "bounds payload size mismatch");
         std::size_t idx = 0;
         for (int n = 0; n < ncomp; ++n)
             for (int k = ch.recv.k.lo; k <= ch.recv.k.hi; ++k)
                 for (int j = ch.recv.j.lo; j <= ch.recv.j.hi; ++j)
                     for (int i = ch.recv.i.lo; i <= ch.recv.i.hi; ++i)
-                        cons(n, k, j, i) = msg.payload.at(idx++);
+                        cons(n, k, j, i) = msg.payload[idx++];
         return;
     }
 

@@ -42,11 +42,6 @@ Experiment::run() const
     ExperimentResult result;
     result.spec = spec;
 
-    KernelProfiler profiler;
-    MemoryTracker tracker;
-    ExecContext ctx(spec.numeric ? ExecMode::Execute : ExecMode::Count,
-                    &profiler, &tracker);
-
     VariableRegistry registry = makeBurgersRegistry(spec.numScalars);
 
     MeshConfig mesh_config;
@@ -57,6 +52,18 @@ Experiment::run() const
     mesh_config.numGhost = spec.numGhost;
     mesh_config.amrLevels = spec.amrLevels;
     mesh_config.optimizeAuxMemory = spec.optimizeAuxMemory;
+    mesh_config.numThreads = spec.numThreads;
+
+    KernelProfiler profiler;
+    MemoryTracker tracker;
+    // The MeshConfig carries the exec/num_threads knob; counting mode
+    // never executes kernel bodies, so spawning a pool there would be
+    // pure startup/teardown overhead across sweep points.
+    ExecContext ctx(spec.numeric ? ExecMode::Execute : ExecMode::Count,
+                    &profiler, &tracker,
+                    makeExecutionSpace(
+                        spec.numeric ? mesh_config.numThreads : 1));
+
     Mesh mesh(mesh_config, registry, ctx);
 
     RankWorld world(spec.platform.ranks);

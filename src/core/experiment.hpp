@@ -40,6 +40,13 @@ struct ExperimentSpec
     bool numeric = false;
     bool optimizeAuxMemory = false; ///< §VIII-B layout ablation.
     bool randomizeBufferKeys = true; ///< §VIII-A ablation.
+    /**
+     * Host threads for kernel execution (the `exec/num_threads` knob):
+     * 1 = the serial fast path, >1 = a persistent ThreadPoolSpace.
+     * Only affects wall-clock of numeric runs; recorded work and mesh
+     * state are backend-independent.
+     */
+    int numThreads = 1;
 
     // Platform.
     PlatformConfig platform = PlatformConfig::gpu(1, 1);

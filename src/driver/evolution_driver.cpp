@@ -1,6 +1,7 @@
 #include "driver/evolution_driver.hpp"
 
 #include "driver/task_list.hpp"
+#include "exec/memory_tracker.hpp"
 #include "exec/par_for.hpp"
 #include "mesh/prolong_restrict.hpp"
 #include "util/logging.hpp"
@@ -63,9 +64,10 @@ EvolutionDriver::initialize()
             // conditions rather than prolongated data.
             for (auto& refined : restructure.refined)
                 for (MeshBlock* child : refined.children)
-                    package_->initializeBlock(*child, config_.ic);
+                    package_->initializeBlock(ctx, *child, config_.ic);
             for (auto& derefined : restructure.derefined)
-                package_->initializeBlock(*derefined.parent, config_.ic);
+                package_->initializeBlock(ctx, *derefined.parent,
+                                          config_.ic);
         }
         cache_.rebuild();
     }
@@ -121,6 +123,15 @@ EvolutionDriver::doCycle()
     stats.derefined = last_derefined_;
     stats.movedBlocks = last_moved_;
     history_.push_back(stats);
+
+    // Cycle boundary: all launches have completed, so fold any
+    // instrumentation recorded on pool worker threads back into the
+    // main tables before the next phase begins.
+    const ExecContext& ctx = mesh_->ctx();
+    if (ctx.profiler())
+        ctx.profiler()->sync();
+    if (ctx.tracker())
+        ctx.tracker()->sync();
 }
 
 void

@@ -13,7 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+
+#include "exec/execution_space.hpp"
 
 namespace vibe {
 
@@ -33,14 +37,37 @@ enum class ExecMode { Execute, Count };
 class ExecContext
 {
   public:
+    /** Serial execution space (the seed behavior, bit-identical). */
     ExecContext(ExecMode mode, KernelProfiler* profiler,
                 MemoryTracker* tracker)
-        : mode_(mode), profiler_(profiler), tracker_(tracker)
+        : ExecContext(mode, profiler, tracker, sharedSerialSpace())
     {
+    }
+
+    /**
+     * Explicit execution space (see makeExecutionSpace). The context
+     * shares ownership so the space outlives every kernel launched
+     * through it, even if the caller drops its handle.
+     */
+    ExecContext(ExecMode mode, KernelProfiler* profiler,
+                MemoryTracker* tracker,
+                std::shared_ptr<ExecutionSpace> space)
+        : mode_(mode), profiler_(profiler), tracker_(tracker),
+          space_(std::move(space))
+    {
+        if (!space_)
+            space_ = sharedSerialSpace();
     }
 
     ExecMode mode() const { return mode_; }
     bool executing() const { return mode_ == ExecMode::Execute; }
+
+    /** Execution space kernel bodies are dispatched on. */
+    ExecutionSpace& space() const { return *space_; }
+    const std::shared_ptr<ExecutionSpace>& spaceHandle() const
+    {
+        return space_;
+    }
 
     KernelProfiler* profiler() const { return profiler_; }
     MemoryTracker* tracker() const { return tracker_; }
@@ -58,6 +85,7 @@ class ExecContext
     ExecMode mode_;
     KernelProfiler* profiler_;
     MemoryTracker* tracker_;
+    std::shared_ptr<ExecutionSpace> space_;
     mutable int current_rank_ = 0;
 };
 

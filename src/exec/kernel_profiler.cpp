@@ -2,12 +2,42 @@
 
 namespace vibe {
 
-void
-KernelProfiler::record(const KernelRecord& record)
+KernelProfiler::KernelProfiler() : owner_(std::this_thread::get_id()) {}
+
+KernelProfiler::KernelProfiler(const KernelProfiler& other)
+    : owner_(std::this_thread::get_id())
 {
-    KernelStats& stats =
-        kernels_[{record.phase.empty() ? phase_ : record.phase,
-                  record.name}];
+    other.sync();
+    phase_ = other.phase_;
+    main_ = other.main_;
+}
+
+KernelProfiler&
+KernelProfiler::operator=(const KernelProfiler& other)
+{
+    if (this == &other)
+        return *this;
+    other.sync();
+    sync();
+    phase_ = other.phase_;
+    main_ = other.main_;
+    return *this;
+}
+
+void
+KernelProfiler::accumulate(Buffers& into, const KernelRecord& record) const
+{
+    const KernelKeyLess::View key{
+        record.phase.empty() ? std::string_view(phase_) : record.phase,
+        record.name};
+    auto it = into.kernels.find(key);
+    if (it == into.kernels.end())
+        it = into.kernels
+                 .emplace(KernelKey{std::string(key.first),
+                                    std::string(key.second)},
+                          KernelStats{})
+                 .first;
+    KernelStats& stats = it->second;
     stats.launches += record.launches;
     stats.items += record.items;
     stats.flops += record.flops;
@@ -18,20 +48,80 @@ KernelProfiler::record(const KernelRecord& record)
 }
 
 void
-KernelProfiler::recordSerial(const SerialRecord& record)
+KernelProfiler::accumulateSerial(Buffers& into,
+                                 const SerialRecord& record) const
 {
-    SerialStats& stats =
-        serial_[{record.phase.empty() ? phase_ : record.phase,
-                 record.category}];
+    const KernelKeyLess::View key{
+        record.phase.empty() ? std::string_view(phase_) : record.phase,
+        record.category};
+    auto it = into.serial.find(key);
+    if (it == into.serial.end())
+        it = into.serial
+                 .emplace(KernelKey{std::string(key.first),
+                                    std::string(key.second)},
+                          SerialStats{})
+                 .first;
+    SerialStats& stats = it->second;
     stats.items += record.items;
     stats.itemsByRank[record.rank] += record.items;
+}
+
+void
+KernelProfiler::record(const KernelRecord& record)
+{
+    if (std::this_thread::get_id() == owner_)
+        accumulate(main_, record);
+    else
+        accumulate(thread_buffers_.local(), record);
+}
+
+void
+KernelProfiler::recordSerial(const SerialRecord& record)
+{
+    if (std::this_thread::get_id() == owner_)
+        accumulateSerial(main_, record);
+    else
+        accumulateSerial(thread_buffers_.local(), record);
+}
+
+void
+KernelProfiler::setPhase(std::string phase)
+{
+    sync();
+    phase_ = std::move(phase);
+}
+
+void
+KernelProfiler::sync() const
+{
+    thread_buffers_.forEach([this](Buffers& buffers) {
+        for (auto& [key, stats] : buffers.kernels) {
+            KernelStats& into = main_.kernels[key];
+            into.launches += stats.launches;
+            into.items += stats.items;
+            into.flops += stats.flops;
+            into.bytes += stats.bytes;
+            into.innermostSum += stats.innermostSum;
+            for (const auto& [rank, items] : stats.itemsByRank)
+                into.itemsByRank[rank] += items;
+        }
+        for (auto& [key, stats] : buffers.serial) {
+            SerialStats& into = main_.serial[key];
+            into.items += stats.items;
+            for (const auto& [rank, items] : stats.itemsByRank)
+                into.itemsByRank[rank] += items;
+        }
+        buffers.kernels.clear();
+        buffers.serial.clear();
+    });
 }
 
 double
 KernelProfiler::totalItems() const
 {
+    sync();
     double total = 0;
-    for (const auto& [key, stats] : kernels_)
+    for (const auto& [key, stats] : main_.kernels)
         total += stats.items;
     return total;
 }
@@ -39,8 +129,9 @@ KernelProfiler::totalItems() const
 std::uint64_t
 KernelProfiler::totalLaunches() const
 {
+    sync();
     std::uint64_t total = 0;
-    for (const auto& [key, stats] : kernels_)
+    for (const auto& [key, stats] : main_.kernels)
         total += stats.launches;
     return total;
 }
@@ -48,8 +139,9 @@ KernelProfiler::totalLaunches() const
 KernelStats
 KernelProfiler::kernelByName(const std::string& name) const
 {
+    sync();
     KernelStats out;
-    for (const auto& [key, stats] : kernels_) {
+    for (const auto& [key, stats] : main_.kernels) {
         if (key.second != name)
             continue;
         out.launches += stats.launches;
@@ -66,8 +158,9 @@ KernelProfiler::kernelByName(const std::string& name) const
 double
 KernelProfiler::serialByCategory(const std::string& category) const
 {
+    sync();
     double total = 0;
-    for (const auto& [key, stats] : serial_)
+    for (const auto& [key, stats] : main_.serial)
         if (key.second == category)
             total += stats.items;
     return total;
@@ -76,8 +169,9 @@ KernelProfiler::serialByCategory(const std::string& category) const
 void
 KernelProfiler::reset()
 {
-    kernels_.clear();
-    serial_.clear();
+    sync();
+    main_.kernels.clear();
+    main_.serial.clear();
     phase_ = "Initialise";
 }
 

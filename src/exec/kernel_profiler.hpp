@@ -7,21 +7,38 @@
  * The paper's timing analysis (Figs. 9, 11, 12), microarchitecture table
  * (Table III) and opcode model (Fig. 13) are all computed from this
  * event stream by the perfmodel module.
+ *
+ * Concurrency model: the thread that constructed the profiler (the
+ * owner) aggregates straight into the main tables, exactly as before;
+ * records arriving from other threads (kernel bodies running on a
+ * ThreadPoolSpace) accumulate into per-thread buffers that are merged
+ * into the main tables at phase boundaries — setPhase/sync or any read
+ * accessor — so the record hot path never takes a lock. Merging and
+ * phase changes must happen at quiescent points (no launch in flight),
+ * which `parFor`'s synchronous launches guarantee.
  */
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
-#include <vector>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "exec/thread_local_registry.hpp"
 
 namespace vibe {
 
-/** One recorded kernel launch (or a batch of identical launches). */
+/**
+ * One recorded kernel launch (or a batch of identical launches).
+ * A transient event: the string fields are views valid only for the
+ * duration of the record() call, so launching a kernel never allocates.
+ */
 struct KernelRecord
 {
-    std::string name;        ///< Kernel label, e.g. "CalculateFluxes".
-    std::string phase;       ///< Timestep phase (Fig. 3 function).
+    std::string_view name;   ///< Kernel label, e.g. "CalculateFluxes".
+    std::string_view phase;  ///< Timestep phase ("" = current phase).
     int rank = 0;            ///< Owning MPI rank of the processed block.
     std::uint64_t launches = 1; ///< Number of kernel launches.
     double items = 0;        ///< Total loop iterations (cell updates).
@@ -52,10 +69,34 @@ struct KernelStats
 /** Serial (non-kernel) work event, counted rather than timed. */
 struct SerialRecord
 {
-    std::string phase;      ///< Timestep phase.
-    std::string category;   ///< e.g. "string_lookup", "sort_keys".
+    std::string_view phase;    ///< Timestep phase ("" = current phase).
+    std::string_view category; ///< e.g. "string_lookup", "sort_keys".
     int rank = 0;
-    double items = 0;       ///< Category-specific unit count.
+    double items = 0;          ///< Category-specific unit count.
+};
+
+/**
+ * Transparent comparator so the hot record path can probe the
+ * (phase, name) tables with string_views and only materialize owning
+ * strings on the first occurrence of a key.
+ */
+struct KernelKeyLess
+{
+    using is_transparent = void;
+    using Key = std::pair<std::string, std::string>;
+    using View = std::pair<std::string_view, std::string_view>;
+
+    static View view(const Key& key) { return {key.first, key.second}; }
+
+    bool operator()(const Key& a, const Key& b) const { return a < b; }
+    bool operator()(const Key& a, const View& b) const
+    {
+        return view(a) < b;
+    }
+    bool operator()(const View& a, const Key& b) const
+    {
+        return a < view(b);
+    }
 };
 
 /**
@@ -67,18 +108,34 @@ struct SerialRecord
 class KernelProfiler
 {
   public:
+    KernelProfiler();
+    KernelProfiler(const KernelProfiler& other);
+    KernelProfiler& operator=(const KernelProfiler& other);
+
     void record(const KernelRecord& record);
     void recordSerial(const SerialRecord& record);
 
-    /** Set the phase label attributed to subsequent records. */
-    void setPhase(std::string phase) { phase_ = std::move(phase); }
+    /**
+     * Set the phase label attributed to subsequent records. A phase
+     * boundary: merges any per-thread buffers first.
+     */
+    void setPhase(std::string phase);
     const std::string& phase() const { return phase_; }
 
-    using KernelKey = std::pair<std::string, std::string>; // (phase, name)
+    /**
+     * Merge per-thread buffers into the main tables. Must be called
+     * from a quiescent point (no kernel launch in flight); read
+     * accessors and setPhase call it implicitly.
+     */
+    void sync() const;
 
-    const std::map<KernelKey, KernelStats>& kernels() const
+    using KernelKey = std::pair<std::string, std::string>; // (phase, name)
+    using KernelMap = std::map<KernelKey, KernelStats, KernelKeyLess>;
+
+    const KernelMap& kernels() const
     {
-        return kernels_;
+        sync();
+        return main_.kernels;
     }
 
     /** Serial item counts keyed by (phase, category), plus per rank. */
@@ -87,9 +144,12 @@ class KernelProfiler
         double items = 0;
         std::map<int, double> itemsByRank;
     };
-    const std::map<KernelKey, SerialStats>& serial() const
+    using SerialMap = std::map<KernelKey, SerialStats, KernelKeyLess>;
+
+    const SerialMap& serial() const
     {
-        return serial_;
+        sync();
+        return main_.serial;
     }
 
     /** Total kernel work items across all phases. */
@@ -104,9 +164,21 @@ class KernelProfiler
     void reset();
 
   private:
+    /** One thread's pending aggregation, merged at phase boundaries. */
+    struct Buffers
+    {
+        KernelMap kernels;
+        SerialMap serial;
+    };
+
+    void accumulate(Buffers& into, const KernelRecord& record) const;
+    void accumulateSerial(Buffers& into, const SerialRecord& record) const;
+
     std::string phase_ = "Initialise";
-    std::map<KernelKey, KernelStats> kernels_;
-    std::map<KernelKey, SerialStats> serial_;
+    mutable Buffers main_;
+
+    std::thread::id owner_;
+    ThreadLocalRegistry<Buffers> thread_buffers_;
 };
 
 /** RAII phase scope: restores the previous phase label on destruction. */

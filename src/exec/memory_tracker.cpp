@@ -6,9 +6,17 @@
 
 namespace vibe {
 
+MemoryTracker::MemoryTracker() : owner_(std::this_thread::get_id()) {}
+
 void
 MemoryTracker::allocate(const std::string& label, std::size_t bytes)
 {
+    if (std::this_thread::get_id() != owner_) {
+        Pending& pending = pending_.local();
+        pending.deltaByLabel[label] += static_cast<std::int64_t>(bytes);
+        ++pending.allocationCalls;
+        return;
+    }
     current_by_label_[label] += bytes;
     current_ += bytes;
     peak_ = std::max(peak_, current_);
@@ -20,6 +28,11 @@ MemoryTracker::allocate(const std::string& label, std::size_t bytes)
 void
 MemoryTracker::deallocate(const std::string& label, std::size_t bytes)
 {
+    if (std::this_thread::get_id() != owner_) {
+        pending_.local().deltaByLabel[label] -=
+            static_cast<std::int64_t>(bytes);
+        return;
+    }
     auto it = current_by_label_.find(label);
     require(it != current_by_label_.end() && it->second >= bytes,
             "MemoryTracker: deallocating ", bytes, " bytes from label '",
@@ -29,9 +42,33 @@ MemoryTracker::deallocate(const std::string& label, std::size_t bytes)
     current_ -= bytes;
 }
 
+void
+MemoryTracker::sync() const
+{
+    pending_.forEach([this](Pending& pending) {
+        for (const auto& [label, delta] : pending.deltaByLabel) {
+            const std::int64_t now =
+                static_cast<std::int64_t>(current_by_label_[label]) +
+                delta;
+            require(now >= 0, "MemoryTracker: merged deltas for label '",
+                    label, "' underflow to ", now, " bytes");
+            current_by_label_[label] = static_cast<std::size_t>(now);
+            current_ = static_cast<std::size_t>(
+                static_cast<std::int64_t>(current_) + delta);
+            peak_by_label_[label] = std::max(peak_by_label_[label],
+                                             current_by_label_[label]);
+        }
+        allocation_calls_ += pending.allocationCalls;
+        pending.deltaByLabel.clear();
+        pending.allocationCalls = 0;
+    });
+    peak_ = std::max(peak_, current_);
+}
+
 std::size_t
 MemoryTracker::labelBytes(const std::string& label) const
 {
+    sync();
     auto it = current_by_label_.find(label);
     return it == current_by_label_.end() ? 0 : it->second;
 }
@@ -39,6 +76,7 @@ MemoryTracker::labelBytes(const std::string& label) const
 std::size_t
 MemoryTracker::labelPeakBytes(const std::string& label) const
 {
+    sync();
     auto it = peak_by_label_.find(label);
     return it == peak_by_label_.end() ? 0 : it->second;
 }
@@ -46,6 +84,7 @@ MemoryTracker::labelPeakBytes(const std::string& label) const
 void
 MemoryTracker::reset()
 {
+    sync();
     current_by_label_.clear();
     peak_by_label_.clear();
     current_ = 0;

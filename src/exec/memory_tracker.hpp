@@ -8,6 +8,15 @@
  * Open MPI driver terms on top to reproduce Fig. 10 and the OOM walls.
  * Virtual-mode blocks register the same byte counts without backing
  * storage, so footprint numbers are identical across modes.
+ *
+ * Concurrency model mirrors KernelProfiler: the constructing (owner)
+ * thread updates the tables directly with exact peak tracking; calls
+ * from other threads (allocations inside ThreadPoolSpace kernel
+ * bodies) buffer signed per-label deltas that are merged at sync
+ * points — sync() or any read accessor — so the hot path never locks.
+ * Cross-thread peaks are therefore resolved at merge granularity, and
+ * underflow (double free) from a worker thread panics at the merge
+ * rather than at the deallocate call.
  */
 #pragma once
 
@@ -15,6 +24,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
+
+#include "exec/thread_local_registry.hpp"
 
 namespace vibe {
 
@@ -22,17 +34,36 @@ namespace vibe {
 class MemoryTracker
 {
   public:
+    MemoryTracker();
+    MemoryTracker(const MemoryTracker&) = delete;
+    MemoryTracker& operator=(const MemoryTracker&) = delete;
+
     /** Register an allocation of `bytes` under `label`. */
     void allocate(const std::string& label, std::size_t bytes);
 
     /** Register a deallocation. Panics on underflow (double free). */
     void deallocate(const std::string& label, std::size_t bytes);
 
+    /**
+     * Merge deltas buffered by non-owner threads. Must be called from
+     * a quiescent point (no kernel launch in flight); read accessors
+     * call it implicitly.
+     */
+    void sync() const;
+
     /** Current total bytes across all labels. */
-    std::size_t currentBytes() const { return current_; }
+    std::size_t currentBytes() const
+    {
+        sync();
+        return current_;
+    }
 
     /** High-water mark of currentBytes(). */
-    std::size_t peakBytes() const { return peak_; }
+    std::size_t peakBytes() const
+    {
+        sync();
+        return peak_;
+    }
 
     /** Current bytes under one label (0 if never used). */
     std::size_t labelBytes(const std::string& label) const;
@@ -43,20 +74,35 @@ class MemoryTracker
     /** Current bytes per label. */
     const std::map<std::string, std::size_t>& byLabel() const
     {
+        sync();
         return current_by_label_;
     }
 
     /** Lifetime allocation-call count (allocation-rate modeling). */
-    std::uint64_t allocationCalls() const { return allocation_calls_; }
+    std::uint64_t allocationCalls() const
+    {
+        sync();
+        return allocation_calls_;
+    }
 
     void reset();
 
   private:
-    std::map<std::string, std::size_t> current_by_label_;
-    std::map<std::string, std::size_t> peak_by_label_;
-    std::size_t current_ = 0;
-    std::size_t peak_ = 0;
-    std::uint64_t allocation_calls_ = 0;
+    /** Deltas pending from one non-owner thread. */
+    struct Pending
+    {
+        std::map<std::string, std::int64_t> deltaByLabel;
+        std::uint64_t allocationCalls = 0;
+    };
+
+    std::thread::id owner_;
+    ThreadLocalRegistry<Pending> pending_;
+
+    mutable std::map<std::string, std::size_t> current_by_label_;
+    mutable std::map<std::string, std::size_t> peak_by_label_;
+    mutable std::size_t current_ = 0;
+    mutable std::size_t peak_ = 0;
+    mutable std::uint64_t allocation_calls_ = 0;
 };
 
 } // namespace vibe

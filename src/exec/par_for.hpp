@@ -8,11 +8,26 @@
  * the profiler, and the body is executed only in numeric mode. This is
  * the boundary the paper uses to split "Kokkos kernel" time from the
  * "serial portion" (§II-C).
+ *
+ * Execution goes through the context's ExecutionSpace: the serial
+ * space runs the historical in-line loops bit for bit; a
+ * ThreadPoolSpace statically chunks the flattened outer dimensions
+ * across a persistent worker pool. Kernel names are `string_view`s and
+ * the profiler tables are probed without materializing strings, so a
+ * launch allocates nothing on the no-profiler, counting, and
+ * steady-state recording paths.
+ *
+ * Reductions must use `parReduce` rather than accumulating into a
+ * capture: it gives each static chunk its own accumulator and combines
+ * the partials in chunk order, which is race-free and deterministic
+ * for a fixed thread count (and exact for min/max under any chunking).
  */
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <limits>
+#include <string_view>
+#include <vector>
 
 #include "exec/exec_context.hpp"
 #include "exec/kernel_profiler.hpp"
@@ -26,10 +41,179 @@ struct KernelCosts
     double bytesPerItem = 0;
 };
 
+/** Combine operation for `parReduce`. */
+enum class ReduceOp { Min, Max, Sum };
+
+namespace detail {
+
+inline double
+reduceIdentity(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::Min:
+        return std::numeric_limits<double>::infinity();
+      case ReduceOp::Max:
+        return -std::numeric_limits<double>::infinity();
+      case ReduceOp::Sum:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+inline double
+reduceCombine(ReduceOp op, double a, double b)
+{
+    switch (op) {
+      case ReduceOp::Min:
+        return b < a ? b : a;
+      case ReduceOp::Max:
+        return b > a ? b : a;
+      case ReduceOp::Sum:
+        return a + b;
+    }
+    return a;
+}
+
+/** Scratch shared by the trampoline of one 3-D/4-D chunked launch. */
+template <typename F>
+struct Launch3
+{
+    F& body;
+    std::int64_t nj;
+    int kl, jl, il, iu;
+};
+
+template <typename F>
+struct Launch4
+{
+    F& body;
+    std::int64_t nk, nj;
+    int nl, kl, jl, il, iu;
+};
+
+} // namespace detail
+
+/**
+ * Execute-only 1-D loop over [il, iu] through the context's execution
+ * space, without recording a launch. For call sites whose accounting
+ * is batched separately via `recordKernel` (irregular pack/unpack and
+ * fused multi-pass kernels).
+ */
+template <typename F>
+void
+parForExec(const ExecContext& ctx, int il, int iu, F&& body)
+{
+    if (!ctx.executing() || iu < il)
+        return;
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t n = static_cast<std::int64_t>(iu) - il + 1;
+    if (space.concurrency() == 1 || n <= 1) {
+        for (int i = il; i <= iu; ++i)
+            body(i);
+        return;
+    }
+    struct Launch1
+    {
+        F& body;
+        int il;
+    } launch{body, il};
+    space.forEachChunk(
+        n,
+        [](void* p, std::int64_t begin, std::int64_t end, int) {
+            auto* launch = static_cast<Launch1*>(p);
+            for (std::int64_t idx = begin; idx < end; ++idx)
+                launch->body(launch->il + static_cast<int>(idx));
+        },
+        &launch);
+}
+
+/**
+ * Execute-only 3-D loop over [kl,ku] x [jl,ju] x [il,iu]; the (k, j)
+ * plane is flattened and chunked, the contiguous i loop stays inside
+ * the body call. No launch is recorded (see the 1-D overload).
+ */
+template <typename F>
+void
+parForExec(const ExecContext& ctx, int kl, int ku, int jl, int ju, int il,
+           int iu, F&& body)
+{
+    if (!ctx.executing() || ku < kl || ju < jl || iu < il)
+        return;
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t nk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t nj = static_cast<std::int64_t>(ju) - jl + 1;
+    if (space.concurrency() == 1 || nk * nj <= 1) {
+        for (int k = kl; k <= ku; ++k)
+            for (int j = jl; j <= ju; ++j)
+                for (int i = il; i <= iu; ++i)
+                    body(k, j, i);
+        return;
+    }
+    detail::Launch3<F> launch{body, nj, kl, jl, il, iu};
+    space.forEachChunk(
+        nk * nj,
+        [](void* p, std::int64_t begin, std::int64_t end, int) {
+            auto* launch = static_cast<detail::Launch3<F>*>(p);
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const int k =
+                    launch->kl + static_cast<int>(idx / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(idx % launch->nj);
+                for (int i = launch->il; i <= launch->iu; ++i)
+                    launch->body(k, j, i);
+            }
+        },
+        &launch);
+}
+
+/**
+ * Execute-only 4-D loop with a leading variable index [nl,nu]; the
+ * (n, k, j) volume is flattened and chunked.
+ */
+template <typename F>
+void
+parForExec(const ExecContext& ctx, int nl, int nu, int kl, int ku, int jl,
+           int ju, int il, int iu, F&& body)
+{
+    if (!ctx.executing() || nu < nl || ku < kl || ju < jl || iu < il)
+        return;
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t nn = static_cast<std::int64_t>(nu) - nl + 1;
+    const std::int64_t nk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t nj = static_cast<std::int64_t>(ju) - jl + 1;
+    if (space.concurrency() == 1 || nn * nk * nj <= 1) {
+        for (int n = nl; n <= nu; ++n)
+            for (int k = kl; k <= ku; ++k)
+                for (int j = jl; j <= ju; ++j)
+                    for (int i = il; i <= iu; ++i)
+                        body(n, k, j, i);
+        return;
+    }
+    detail::Launch4<F> launch{body, nk, nj, nl, kl, jl, il, iu};
+    space.forEachChunk(
+        nn * nk * nj,
+        [](void* p, std::int64_t begin, std::int64_t end, int) {
+            auto* launch = static_cast<detail::Launch4<F>*>(p);
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const std::int64_t kj = idx % (launch->nk * launch->nj);
+                const int n = launch->nl +
+                              static_cast<int>(idx /
+                                               (launch->nk * launch->nj));
+                const int k =
+                    launch->kl + static_cast<int>(kj / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(kj % launch->nj);
+                for (int i = launch->il; i <= launch->iu; ++i)
+                    launch->body(n, k, j, i);
+            }
+        },
+        &launch);
+}
+
 /**
  * 1-D named kernel over [il, iu] inclusive.
  *
- * @param ctx     Execution context (mode + instrumentation).
+ * @param ctx     Execution context (mode + instrumentation + space).
  * @param name    Kernel label (shows up in Table III / Fig. 12).
  * @param costs   Per-item flop/byte costs for the performance model.
  * @param il,iu   Inclusive index bounds.
@@ -37,24 +221,22 @@ struct KernelCosts
  */
 template <typename F>
 void
-parFor(const ExecContext& ctx, const std::string& name,
+parFor(const ExecContext& ctx, std::string_view name,
        const KernelCosts& costs, int il, int iu, F&& body)
 {
     const double items = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
     if (ctx.profiler()) {
-        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
-                                items, items * costs.flopsPerItem,
+        ctx.profiler()->record({name, {}, ctx.currentRank(), 1, items,
+                                items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, items});
     }
-    if (ctx.executing())
-        for (int i = il; i <= iu; ++i)
-            body(i);
+    parForExec(ctx, il, iu, static_cast<F&&>(body));
 }
 
 /** 3-D named kernel over [kl,ku] x [jl,ju] x [il,iu], innermost i. */
 template <typename F>
 void
-parFor(const ExecContext& ctx, const std::string& name,
+parFor(const ExecContext& ctx, std::string_view name,
        const KernelCosts& costs, int kl, int ku, int jl, int ju, int il,
        int iu, F&& body)
 {
@@ -63,21 +245,17 @@ parFor(const ExecContext& ctx, const std::string& name,
     const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
     const double items = nk * nj * ni;
     if (ctx.profiler()) {
-        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
-                                items, items * costs.flopsPerItem,
+        ctx.profiler()->record({name, {}, ctx.currentRank(), 1, items,
+                                items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, ni});
     }
-    if (ctx.executing())
-        for (int k = kl; k <= ku; ++k)
-            for (int j = jl; j <= ju; ++j)
-                for (int i = il; i <= iu; ++i)
-                    body(k, j, i);
+    parForExec(ctx, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
 }
 
 /** 4-D named kernel with a leading variable index [nl,nu]. */
 template <typename F>
 void
-parFor(const ExecContext& ctx, const std::string& name,
+parFor(const ExecContext& ctx, std::string_view name,
        const KernelCosts& costs, int nl, int nu, int kl, int ku, int jl,
        int ju, int il, int iu, F&& body)
 {
@@ -87,16 +265,83 @@ parFor(const ExecContext& ctx, const std::string& name,
     const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
     const double items = nn * nk * nj * ni;
     if (ctx.profiler()) {
-        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
-                                items, items * costs.flopsPerItem,
+        ctx.profiler()->record({name, {}, ctx.currentRank(), 1, items,
+                                items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, ni});
     }
-    if (ctx.executing())
-        for (int n = nl; n <= nu; ++n)
-            for (int k = kl; k <= ku; ++k)
-                for (int j = jl; j <= ju; ++j)
-                    for (int i = il; i <= iu; ++i)
-                        body(n, k, j, i);
+    parForExec(ctx, nl, nu, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
+}
+
+/**
+ * 3-D named reduction kernel over [kl,ku] x [jl,ju] x [il,iu].
+ *
+ * The body receives (k, j, i, double& acc) and must fold the cell's
+ * contribution into `acc` with the declared operation. `result` enters
+ * as the initial value and leaves combined with every chunk partial in
+ * chunk order: min/max results are exact under any chunking, sum
+ * results are deterministic for a fixed thread count.
+ */
+template <typename F>
+void
+parReduce(const ExecContext& ctx, std::string_view name,
+          const KernelCosts& costs, ReduceOp op, double& result, int kl,
+          int ku, int jl, int ju, int il, int iu, F&& body)
+{
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    const double items = nk * nj * ni;
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, {}, ctx.currentRank(), 1, items,
+                                items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, ni});
+    }
+    if (!ctx.executing() || ku < kl || ju < jl || iu < il)
+        return;
+
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t onk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t onj = static_cast<std::int64_t>(ju) - jl + 1;
+    if (space.concurrency() == 1 || onk * onj <= 1) {
+        double partial = detail::reduceIdentity(op);
+        for (int k = kl; k <= ku; ++k)
+            for (int j = jl; j <= ju; ++j)
+                for (int i = il; i <= iu; ++i)
+                    body(k, j, i, partial);
+        result = detail::reduceCombine(op, result, partial);
+        return;
+    }
+
+    struct ReduceLaunch
+    {
+        F& body;
+        double* partials;
+        std::int64_t nj;
+        int kl, jl, il, iu;
+    };
+    // One accumulator per static chunk; combined in chunk order below.
+    std::vector<double> partials(
+        static_cast<std::size_t>(space.concurrency()),
+        detail::reduceIdentity(op));
+    ReduceLaunch launch{body, partials.data(), onj, kl, jl, il, iu};
+    space.forEachChunk(
+        onk * onj,
+        [](void* p, std::int64_t begin, std::int64_t end, int chunk) {
+            auto* launch = static_cast<ReduceLaunch*>(p);
+            double acc = launch->partials[chunk];
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const int k =
+                    launch->kl + static_cast<int>(idx / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(idx % launch->nj);
+                for (int i = launch->il; i <= launch->iu; ++i)
+                    launch->body(k, j, i, acc);
+            }
+            launch->partials[chunk] = acc;
+        },
+        &launch);
+    for (double partial : partials)
+        result = detail::reduceCombine(op, result, partial);
 }
 
 /**
@@ -104,24 +349,24 @@ parFor(const ExecContext& ctx, const std::string& name,
  * batched pack/unpack where the loop structure is irregular).
  */
 inline void
-recordKernel(const ExecContext& ctx, const std::string& name, double items,
+recordKernel(const ExecContext& ctx, std::string_view name, double items,
              const KernelCosts& costs, double innermost)
 {
     if (ctx.profiler()) {
-        ctx.profiler()->record({name, std::string(), ctx.currentRank(), 1,
-                                items, items * costs.flopsPerItem,
+        ctx.profiler()->record({name, {}, ctx.currentRank(), 1, items,
+                                items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, innermost});
     }
 }
 
 /** Record serial (non-kernel) work items of a named category. */
 inline void
-recordSerial(const ExecContext& ctx, const std::string& category,
+recordSerial(const ExecContext& ctx, std::string_view category,
              double items)
 {
     if (ctx.profiler())
         ctx.profiler()->recordSerial(
-            {std::string(), category, ctx.currentRank(), items});
+            {{}, category, ctx.currentRank(), items});
 }
 
 } // namespace vibe

@@ -1,0 +1,77 @@
+/**
+ * @file thread_local_registry.hpp
+ * Per-thread slot registry shared by the instrumentation sinks.
+ *
+ * Gives each (instance, thread) pair its own lazily created T so hot
+ * paths can accumulate without locking: the registry mutex is taken
+ * only on a thread's first touch of an instance (slot registration)
+ * and inside forEach. Instances are keyed by a process-unique id that
+ * is never reused, so a thread-local slot left behind by a destroyed
+ * registry can never be looked up again — it only occupies a map
+ * entry until the thread exits.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace vibe {
+
+template <typename T>
+class ThreadLocalRegistry
+{
+  public:
+    ThreadLocalRegistry() : id_(nextId()) {}
+    ThreadLocalRegistry(const ThreadLocalRegistry&) = delete;
+    ThreadLocalRegistry& operator=(const ThreadLocalRegistry&) = delete;
+
+    /** This thread's slot, created and registered on first use. */
+    T& local() const
+    {
+        void*& slot = tlsSlots()[id_];
+        if (!slot) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            slots_.push_back(std::make_unique<T>());
+            slot = slots_.back().get();
+        }
+        return *static_cast<T*>(slot);
+    }
+
+    /**
+     * Visit every registered slot under the registry lock, in
+     * registration order. The caller is responsible for quiescence:
+     * visiting a slot another thread is concurrently mutating is a
+     * race the lock does not prevent.
+     */
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& slot : slots_)
+            fn(*slot);
+    }
+
+  private:
+    static std::uint64_t nextId()
+    {
+        static std::atomic<std::uint64_t> counter{0};
+        return ++counter;
+    }
+
+    static std::unordered_map<std::uint64_t, void*>& tlsSlots()
+    {
+        static thread_local std::unordered_map<std::uint64_t, void*>
+            slots;
+        return slots;
+    }
+
+    std::uint64_t id_;
+    mutable std::mutex mutex_;
+    mutable std::vector<std::unique_ptr<T>> slots_;
+};
+
+} // namespace vibe

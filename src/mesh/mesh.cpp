@@ -26,6 +26,7 @@ MeshConfig::fromParams(const ParameterInput& pin)
     config.x1max = pin.getReal("mesh", "x1max", 1.0);
     config.optimizeAuxMemory =
         pin.getBool("mesh", "optimize_aux_memory", false);
+    config.numThreads = pin.getInt("exec", "num_threads", 1);
     config.validate();
     return config;
 }
@@ -41,6 +42,8 @@ MeshConfig::validate() const
         fatal("at least one ghost layer is required");
     if (amrLevels < 1)
         fatal("#AMR Levels must be at least 1 (1 = uniform mesh)");
+    if (numThreads < 1)
+        fatal("exec/num_threads must be at least 1, got ", numThreads);
     // §II-F: the total mesh size in each dimension must be an exact
     // multiple of the corresponding MeshBlock size.
     if (nx1 % blockNx1 != 0)

@@ -40,6 +40,15 @@ struct MeshConfig
     double x1min = 0.0, x1max = 1.0;      ///< Cubic domain extent.
     /** Use the §VIII-B shared reconstruction scratch layout. */
     bool optimizeAuxMemory = false;
+    /**
+     * Host threads for kernel execution (`<exec> num_threads` in the
+     * input deck): 1 selects the serial fast path, >1 a persistent
+     * thread pool. The config only carries the knob — whoever builds
+     * the ExecContext must honor it by passing
+     * makeExecutionSpace(config.numThreads), as Experiment::run does;
+     * the Mesh itself runs on whatever space its context supplies.
+     */
+    int numThreads = 1;
 
     /** Read <mesh>/<meshblock>/<amr> sections of an input deck. */
     static MeshConfig fromParams(const ParameterInput& pin);

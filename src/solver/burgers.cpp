@@ -1,6 +1,7 @@
 #include "solver/burgers.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "exec/par_for.hpp"
 #include "solver/riemann.hpp"
@@ -43,11 +44,11 @@ void
 BurgersPackage::initialize(Mesh& mesh, InitialCondition ic) const
 {
     for (const auto& block : mesh.blocks())
-        initializeBlock(*block, ic);
+        initializeBlock(mesh.ctx(), *block, ic);
 }
 
 void
-BurgersPackage::initializeBlock(MeshBlock& block,
+BurgersPackage::initializeBlock(const ExecContext& ctx, MeshBlock& block,
                                 InitialCondition ic) const
 {
     if (!block.hasData())
@@ -59,9 +60,11 @@ BurgersPackage::initializeBlock(MeshBlock& block,
     constexpr double two_pi = 6.283185307179586;
 
     // Fill interior AND ghosts so the first exchange starts consistent.
-    for (int k = 0; k < s.nk(); ++k)
-        for (int j = 0; j < s.nj(); ++j)
-            for (int i = 0; i < s.ni(); ++i) {
+    // Elementwise and unaccounted in the seed, so dispatching on the
+    // execution space changes neither results nor profiler totals.
+    parForExec(
+        ctx, 0, s.nk() - 1, 0, s.nj() - 1, 0, s.ni() - 1,
+        [&](int k, int j, int i) {
                 const double x = g.x1c(i - s.is());
                 const double y = s.ndim >= 2 ? g.x2c(j - s.js()) : 0.5;
                 const double z = s.ndim >= 3 ? g.x3c(k - s.ks()) : 0.5;
@@ -104,7 +107,7 @@ BurgersPackage::initializeBlock(MeshBlock& block,
                 cons(2, k, j, i) = u3;
                 for (int m = 3; m < ncomp; ++m)
                     cons(m, k, j, i) = q / (1.0 + 0.1 * (m - 3));
-            }
+        });
 }
 
 void
@@ -148,42 +151,46 @@ BurgersPackage::calculateFluxes(Mesh& mesh) const
             const int fjs = s.js(), fje = s.je() + dj;
             const int fks = s.ks(), fke = s.ke() + dk;
 
-            for (int n = 0; n < ncomp; ++n)
-                for (int k = fks; k <= fke; ++k)
-                    for (int j = fjs; j <= fje; ++j)
-                        for (int i = fis; i <= fie; ++i) {
-                            auto c = [&](int shift) {
-                                return cons(n, k + shift * dk,
-                                            j + shift * dj,
-                                            i + shift * di);
-                            };
-                            double left, right;
-                            if (config_.recon == ReconMethod::Weno5) {
-                                left = weno5Face(c(-3), c(-2), c(-1),
-                                                 c(0), c(1));
-                                right = weno5Face(c(2), c(1), c(0),
-                                                  c(-1), c(-2));
-                            } else {
-                                left = plmFace(c(-2), c(-1), c(0));
-                                right = plmFace(c(1), c(0), c(-1));
-                            }
-                            (*rl)(n, k, j, i) = left;
-                            (*rr)(n, k, j, i) = right;
-                        }
+            // Both passes are accounted by the per-block recordKernel
+            // above; parForExec only dispatches them on the space.
+            parForExec(ctx, 0, ncomp - 1, fks, fke, fjs, fje, fis, fie,
+                       [&](int n, int k, int j, int i) {
+                           auto c = [&](int shift) {
+                               return cons(n, k + shift * dk,
+                                           j + shift * dj, i + shift * di);
+                           };
+                           double left, right;
+                           if (config_.recon == ReconMethod::Weno5) {
+                               left = weno5Face(c(-3), c(-2), c(-1), c(0),
+                                                c(1));
+                               right = weno5Face(c(2), c(1), c(0), c(-1),
+                                                 c(-2));
+                           } else {
+                               left = plmFace(c(-2), c(-1), c(0));
+                               right = plmFace(c(1), c(0), c(-1));
+                           }
+                           (*rl)(n, k, j, i) = left;
+                           (*rr)(n, k, j, i) = right;
+                       });
 
             // HLL pass over the same faces.
-            std::vector<double> ul(ncomp), ur(ncomp), f(ncomp);
-            for (int k = fks; k <= fke; ++k)
-                for (int j = fjs; j <= fje; ++j)
-                    for (int i = fis; i <= fie; ++i) {
-                        for (int n = 0; n < ncomp; ++n) {
-                            ul[n] = (*rl)(n, k, j, i);
-                            ur[n] = (*rr)(n, k, j, i);
-                        }
-                        hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
-                        for (int n = 0; n < ncomp; ++n)
-                            flux(n, k, j, i) = f[n];
+            parForExec(
+                ctx, fks, fke, fjs, fje, fis, fie,
+                [&](int k, int j, int i) {
+                    static thread_local std::vector<double> ul, ur, f;
+                    if (ul.size() != static_cast<std::size_t>(ncomp)) {
+                        ul.resize(ncomp);
+                        ur.resize(ncomp);
+                        f.resize(ncomp);
                     }
+                    for (int n = 0; n < ncomp; ++n) {
+                        ul[n] = (*rl)(n, k, j, i);
+                        ur[n] = (*rr)(n, k, j, i);
+                    }
+                    hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
+                    for (int n = 0; n < ncomp; ++n)
+                        flux(n, k, j, i) = f[n];
+                });
         }
     }
 }
@@ -268,21 +275,22 @@ BurgersPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
         double block_dt = dt;
         RealArray4& cons = block->cons();
         const BlockGeometry& g = block->geom();
-        parFor(ctx, "EstTimeMesh", costs, s.ks(), s.ke(), s.js(), s.je(),
-               s.is(), s.ie(), [&](int k, int j, int i) {
-                   constexpr double tiny = 1e-12;
-                   double cell_dt =
-                       g.dx1 / (std::fabs(cons(0, k, j, i)) + tiny);
-                   if (s.ndim >= 2)
-                       cell_dt = std::min(
-                           cell_dt,
-                           g.dx2 / (std::fabs(cons(1, k, j, i)) + tiny));
-                   if (s.ndim >= 3)
-                       cell_dt = std::min(
-                           cell_dt,
-                           g.dx3 / (std::fabs(cons(2, k, j, i)) + tiny));
-                   block_dt = std::min(block_dt, cell_dt);
-               });
+        parReduce(ctx, "EstTimeMesh", costs, ReduceOp::Min, block_dt,
+                  s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
+                  [&](int k, int j, int i, double& acc) {
+                      constexpr double tiny = 1e-12;
+                      double cell_dt =
+                          g.dx1 / (std::fabs(cons(0, k, j, i)) + tiny);
+                      if (s.ndim >= 2)
+                          cell_dt = std::min(
+                              cell_dt,
+                              g.dx2 / (std::fabs(cons(1, k, j, i)) + tiny));
+                      if (s.ndim >= 3)
+                          cell_dt = std::min(
+                              cell_dt,
+                              g.dx3 / (std::fabs(cons(2, k, j, i)) + tiny));
+                      acc = std::min(acc, cell_dt);
+                  });
         dt = std::min(dt, block_dt);
         recordSerial(ctx, "dt_reduce", 1.0);
     }
@@ -305,10 +313,11 @@ BurgersPackage::massHistory(Mesh& mesh, RankWorld& world) const
         ctx.setCurrentRank(block->rank());
         RealArray4& cons = block->cons();
         const double vol = block->geom().cellVolume();
-        parFor(ctx, "MassHistory", costs, s.ks(), s.ke(), s.js(), s.je(),
-               s.is(), s.ie(), [&](int k, int j, int i) {
-                   mass += cons(3, k, j, i) * vol;
-               });
+        parReduce(ctx, "MassHistory", costs, ReduceOp::Sum, mass, s.ks(),
+                  s.ke(), s.js(), s.je(), s.is(), s.ie(),
+                  [&](int k, int j, int i, double& acc) {
+                      acc += cons(3, k, j, i) * vol;
+                  });
     }
     world.allReduce(sizeof(double));
     recordSerial(ctx, "collective", 1.0);
@@ -328,23 +337,24 @@ BurgersPackage::tagBlock(const MeshBlock& block,
     const KernelCosts costs{120.0, 1.0 * sizeof(double)};
     double max_jump = 0.0;
     const RealArray4& cons = block.cons();
-    parFor(ctx, "FirstDerivative", costs, s.ks(), s.ke(), s.js(), s.je(),
-           s.is(), s.ie(), [&](int k, int j, int i) {
-               double jump2 = 0.0;
-               for (int m = 0; m < 3; ++m) {
-                   const double gx = 0.5 * (cons(m, k, j, i + 1) -
-                                            cons(m, k, j, i - 1));
-                   double gy = 0.0, gz = 0.0;
-                   if (s.ndim >= 2)
-                       gy = 0.5 * (cons(m, k, j + 1, i) -
-                                   cons(m, k, j - 1, i));
-                   if (s.ndim >= 3)
-                       gz = 0.5 * (cons(m, k + 1, j, i) -
-                                   cons(m, k - 1, j, i));
-                   jump2 += gx * gx + gy * gy + gz * gz;
-               }
-               max_jump = std::max(max_jump, std::sqrt(jump2));
-           });
+    parReduce(ctx, "FirstDerivative", costs, ReduceOp::Max, max_jump,
+              s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
+              [&](int k, int j, int i, double& acc) {
+                  double jump2 = 0.0;
+                  for (int m = 0; m < 3; ++m) {
+                      const double gx = 0.5 * (cons(m, k, j, i + 1) -
+                                               cons(m, k, j, i - 1));
+                      double gy = 0.0, gz = 0.0;
+                      if (s.ndim >= 2)
+                          gy = 0.5 * (cons(m, k, j + 1, i) -
+                                      cons(m, k, j - 1, i));
+                      if (s.ndim >= 3)
+                          gz = 0.5 * (cons(m, k + 1, j, i) -
+                                      cons(m, k - 1, j, i));
+                      jump2 += gx * gx + gy * gy + gz * gz;
+                  }
+                  acc = std::max(acc, std::sqrt(jump2));
+              });
     if (max_jump > config_.refineTol)
         return RefinementFlag::Refine;
     if (max_jump < config_.derefineTol)

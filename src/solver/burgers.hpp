@@ -64,7 +64,8 @@ class BurgersPackage
     void initialize(Mesh& mesh, InitialCondition ic) const;
 
     /** Set initial conditions on one block. */
-    void initializeBlock(MeshBlock& block, InitialCondition ic) const;
+    void initializeBlock(const ExecContext& ctx, MeshBlock& block,
+                         InitialCondition ic) const;
 
     /**
      * WENO5/PLM reconstruction + HLL fluxes on every block
