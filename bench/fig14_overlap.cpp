@@ -1,0 +1,135 @@
+/**
+ * @file fig14_overlap.cpp
+ * Communication/computation overlap of the asynchronous task-graph
+ * timestep (paper §II-C/§II-D). Each RK stage is a per-block task
+ * graph in which boundary pack/poll/unpack tasks interleave with
+ * interior flux, divergence and update tasks; on a ThreadPoolSpace
+ * the polling receive tasks run while other blocks compute, hiding
+ * exchange time the strictly-phased seed driver exposed.
+ *
+ * Metric: per thread count T, the driver reports wall seconds of the
+ * stage graphs plus the per-category sums of task time. With overlap,
+ *   comm + compute > wall,
+ * and the surplus is task time hidden behind other tasks:
+ *   hidden   = clamp(comm + compute - wall, 0, comm)
+ *   overlap  = hidden / comm    (fraction of exchange hidden)
+ *   conc     = (comm + compute) / wall    (mean task concurrency)
+ * At T = 1 the executor degrades to the serial scan, so hidden ~ 0;
+ * the paper's async direction predicts hidden > 0 from T = 2 up.
+ *
+ * Threaded and serial runs are bitwise state-identical (see
+ * tests/test_exec_spaces.cpp), so the sweep isolates scheduling alone.
+ *
+ * Usage: fig14_overlap [mesh] [cycles]   (defaults 32, 4)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "driver/evolution_driver.hpp"
+#include "driver/tagger.hpp"
+
+namespace {
+
+struct OverlapPoint
+{
+    double wall = 0;
+    double comm = 0;
+    double compute = 0;
+    double totalSeconds = 0;
+    std::int64_t zoneCycles = 0;
+};
+
+OverlapPoint
+runOverlap(int mesh_nx, int cycles, int threads)
+{
+    using namespace vibe;
+    KernelProfiler profiler;
+    MemoryTracker tracker;
+    ExecContext ctx(ExecMode::Execute, &profiler, &tracker,
+                    makeExecutionSpace(threads));
+    auto registry = makeBurgersRegistry(4);
+
+    MeshConfig mesh_config;
+    mesh_config.nx1 = mesh_config.nx2 = mesh_config.nx3 = mesh_nx;
+    mesh_config.blockNx1 = mesh_config.blockNx2 = mesh_config.blockNx3 =
+        8;
+    mesh_config.amrLevels = 2;
+    mesh_config.numThreads = threads;
+    Mesh mesh(mesh_config, registry, ctx);
+    RankWorld world(2);
+
+    BurgersConfig burgers_config;
+    burgers_config.numScalars = 4;
+    burgers_config.refineTol = 0.05;
+    burgers_config.derefineTol = 0.015;
+    BurgersPackage package(burgers_config);
+    GradientTagger tagger(package);
+
+    DriverConfig driver_config;
+    driver_config.ncycles = cycles;
+    driver_config.ic = InitialCondition::Ripple;
+    EvolutionDriver driver(mesh, package, world, tagger, driver_config);
+
+    const auto start = std::chrono::steady_clock::now();
+    driver.initialize();
+    driver.run();
+
+    OverlapPoint point;
+    point.totalSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    point.wall = driver.taskWallSeconds();
+    point.comm = driver.taskCommSeconds();
+    point.compute = driver.taskComputeSeconds();
+    point.zoneCycles = driver.zoneCycles();
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace vibe;
+    using namespace vibe::bench;
+
+    const int mesh = argc > 1 ? std::atoi(argv[1]) : 32;
+    const int cycles = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    banner("Fig 14",
+           "Exchange/compute overlap of the task-graph timestep "
+           "(numeric, mesh " +
+               std::to_string(mesh) + "^3, B8, L2)");
+    std::cout << "hardware concurrency: "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    Table table("Task-graph overlap vs exec/num_threads");
+    table.setHeader({"threads", "stage wall (s)", "comm (s)",
+                     "compute (s)", "hidden (s)", "overlap",
+                     "task conc"});
+    for (int threads : {1, 2, 4, 8}) {
+        const OverlapPoint p = runOverlap(mesh, cycles, threads);
+        const double hidden = std::clamp(
+            p.comm + p.compute - p.wall, 0.0, p.comm);
+        const double overlap = p.comm > 0 ? hidden / p.comm : 0.0;
+        const double conc =
+            p.wall > 0 ? (p.comm + p.compute) / p.wall : 1.0;
+        table.addRow({std::to_string(threads), formatFixed(p.wall, 3),
+                      formatFixed(p.comm, 3),
+                      formatFixed(p.compute, 3), formatFixed(hidden, 3),
+                      formatPercent(overlap), formatRatio(conc)});
+    }
+    table.addNote("hidden = comm + compute - wall; the serial scan "
+                  "(T=1) overlaps nothing by construction");
+    table.addNote("threaded and serial runs produce bitwise-identical "
+                  "mesh state; only scheduling changes");
+    expect(table,
+           "overlap > 0% from 2 threads up: boundary polling tasks "
+           "run while interior blocks compute");
+    table.print(std::cout);
+    return 0;
+}

@@ -53,9 +53,11 @@ main()
     EvolutionDriver driver(mesh, package, world, tagger, driver_config);
 
     driver.initialize();
+    // dt is estimated once at the top of every cycle (see the history
+    // table below); before the first cycle it is just the config value.
     std::cout << "initial mesh: " << mesh.numBlocks()
               << " blocks (max level " << mesh.maxPresentLevel()
-              << "), dt = " << driver.dt() << "\n\n";
+              << ")\n\n";
     driver.run();
 
     Table table("Evolution history");

@@ -123,6 +123,16 @@ class BoundaryBufferCache
         return recv_index_.at(gid);
     }
 
+    /** Indices into flux() sent by / received by block `gid`. */
+    const std::vector<int>& fluxSendIndex(int gid) const
+    {
+        return flux_send_index_.at(gid);
+    }
+    const std::vector<int>& fluxRecvIndex(int gid) const
+    {
+        return flux_recv_index_.at(gid);
+    }
+
     /** Ghost cells on the wire for one full exchange. */
     std::int64_t totalWireCells() const;
     /** Flux-correction faces on the wire for one full exchange. */
@@ -148,6 +158,8 @@ class BoundaryBufferCache
     std::vector<FluxChannel> flux_;
     std::vector<std::vector<int>> send_index_;
     std::vector<std::vector<int>> recv_index_;
+    std::vector<std::vector<int>> flux_send_index_;
+    std::vector<std::vector<int>> flux_recv_index_;
     std::uint64_t rebuild_count_ = 0;
 };
 

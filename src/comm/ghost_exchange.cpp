@@ -57,49 +57,64 @@ GhostExchange::exchangeBounds()
 void
 GhostExchange::startReceiveBoundBufs()
 {
-    PhaseScope scope(mesh_->ctx().profiler(), "StartReceiveBoundBufs");
-    pending_receives_ = cache_->bounds().size();
+    // Per-cycle state reset lives here, at the top of the cycle, so an
+    // exchange that threw mid-cycle cannot leak wire counts, pending
+    // receives, or stale mailbox deliveries into the next one.
+    last_wire_cells_.store(0);
+    std::size_t stale = 0;
+    for (const auto& ch : cache_->bounds())
+        stale += world_->discardPending(ch.id);
+    for (const auto& ch : cache_->flux())
+        stale += world_->discardPending(ch.id);
+    if (stale > 0)
+        warn("ghost exchange discarded ", stale,
+             " stale buffers left by an aborted cycle");
+    pending_receives_.store(cache_->bounds().size());
     // Buffer preparation is pure serial host work: one item per
     // expected buffer.
-    recordSerial(mesh_->ctx(), "recv_buf_prepare",
-                 static_cast<double>(pending_receives_));
+    recordSerialAt(mesh_->ctx(), "StartReceiveBoundBufs", 0,
+                   "recv_buf_prepare",
+                   static_cast<double>(cache_->bounds().size()));
 }
 
 void
 GhostExchange::sendBoundBufs()
 {
-    PhaseScope scope(mesh_->ctx().profiler(), "SendBoundBufs");
-    const ExecContext& ctx = mesh_->ctx();
-    last_wire_cells_ = 0;
-
     // Iterate senders in block order so kernel launches batch per block
     // as Parthenon's packing kernels do.
-    for (const auto& block : mesh_->blocks()) {
-        ctx.setCurrentRank(block->rank());
-        const auto& channels = cache_->sendIndex(block->gid());
-        if (channels.empty())
-            continue;
-        double packed_values = 0;
-        double innermost = 0;
-        for (int idx : channels) {
-            const BoundsChannel& ch = cache_->bounds()[idx];
-            packAndSend(ch);
-            packed_values +=
-                static_cast<double>(ch.wireCells()) *
-                mesh_->registry().ncompConserved();
-            innermost += rangeCount(ch.levelDiff == 1 ? ch.recv : ch.send,
-                                    0);
-            last_wire_cells_ += ch.wireCells();
-        }
-        // One batched pack kernel per block: copies + (for fine->coarse)
-        // the restriction arithmetic, both GPU-offloaded (§II-D).
-        recordKernel(ctx, "SendBoundBufs", packed_values,
-                     {1.0, 2.0 * sizeof(double)},
-                     innermost / static_cast<double>(channels.size()));
-        // Per-buffer metadata management is serial host work.
-        recordSerial(ctx, "bound_buf_metadata",
-                     static_cast<double>(channels.size()));
+    for (const auto& block : mesh_->blocks())
+        sendBlockBounds(*block);
+}
+
+void
+GhostExchange::sendBlockBounds(const MeshBlock& block)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    const auto& channels = cache_->sendIndex(block.gid());
+    if (channels.empty())
+        return;
+    double packed_values = 0;
+    double innermost = 0;
+    std::int64_t wire_cells = 0;
+    for (int idx : channels) {
+        const BoundsChannel& ch = cache_->bounds()[idx];
+        packAndSend(ch);
+        packed_values += static_cast<double>(ch.wireCells()) *
+                         mesh_->registry().ncompConserved();
+        innermost +=
+            rangeCount(ch.levelDiff == 1 ? ch.recv : ch.send, 0);
+        wire_cells += ch.wireCells();
     }
+    last_wire_cells_.fetch_add(wire_cells);
+    // One batched pack kernel per block: copies + (for fine->coarse)
+    // the restriction arithmetic, both GPU-offloaded (§II-D).
+    recordKernelAt(ctx, "SendBoundBufs", block.rank(), "SendBoundBufs",
+                   packed_values, {1.0, 2.0 * sizeof(double)},
+                   innermost / static_cast<double>(channels.size()));
+    // Per-buffer metadata management is serial host work.
+    recordSerialAt(ctx, "SendBoundBufs", block.rank(),
+                   "bound_buf_metadata",
+                   static_cast<double>(channels.size()));
 }
 
 void
@@ -157,9 +172,11 @@ GhostExchange::packAndSend(const BoundsChannel& ch)
         }
     }
     const bool remote = ch.sender->rank() != ch.receiver->rank();
-    recordSerial(ctx, remote ? "msg_remote" : "msg_local", 1.0);
-    recordSerial(ctx, remote ? "msg_remote_bytes" : "msg_local_bytes",
-                 bytes);
+    recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
+                   remote ? "msg_remote" : "msg_local", 1.0);
+    recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
+                   remote ? "msg_remote_bytes" : "msg_local_bytes",
+                   bytes);
     world_->isend(ch.id, ch.sender->rank(), ch.receiver->rank(),
                   std::move(payload), bytes);
 }
@@ -167,7 +184,6 @@ GhostExchange::packAndSend(const BoundsChannel& ch)
 void
 GhostExchange::receiveBoundBufs()
 {
-    PhaseScope scope(mesh_->ctx().profiler(), "ReceiveBoundBufs");
     // Poll until every expected buffer is present, as the real code
     // nudges MPI progress with Iprobe. In the simulated world delivery
     // is immediate, so one probe per channel suffices; the counters
@@ -179,42 +195,60 @@ GhostExchange::receiveBoundBufs()
     require(outstanding == 0,
             "ghost exchange lost messages: ", outstanding,
             " buffers missing");
-    recordSerial(mesh_->ctx(), "recv_poll",
-                 static_cast<double>(cache_->bounds().size()));
+    recordSerialAt(mesh_->ctx(), "ReceiveBoundBufs", 0, "recv_poll",
+                   static_cast<double>(cache_->bounds().size()));
+}
+
+bool
+GhostExchange::pollBlockBounds(const MeshBlock& block)
+{
+    const auto& channels = cache_->recvIndex(block.gid());
+    for (int idx : channels)
+        if (!world_->iprobe(cache_->bounds()[idx].id))
+            return false;
+    // Record the polling cost once, when the block's buffers are all
+    // present; per-block totals sum to the monolithic recv_poll count.
+    if (!channels.empty())
+        recordSerialAt(mesh_->ctx(), "ReceiveBoundBufs", block.rank(),
+                       "recv_poll",
+                       static_cast<double>(channels.size()));
+    return true;
 }
 
 void
 GhostExchange::setBounds()
 {
-    PhaseScope scope(mesh_->ctx().profiler(), "SetBounds");
-    const ExecContext& ctx = mesh_->ctx();
+    for (const auto& block : mesh_->blocks())
+        setBlockBounds(*block);
+}
 
-    for (const auto& block : mesh_->blocks()) {
-        ctx.setCurrentRank(block->rank());
-        const auto& channels = cache_->recvIndex(block->gid());
-        if (channels.empty())
-            continue;
-        double written_values = 0;
-        double innermost = 0;
-        for (int idx : channels) {
-            const BoundsChannel& ch = cache_->bounds()[idx];
-            auto msg = world_->receive(ch.id);
-            require(msg.has_value(), "missing buffer for channel into ",
-                    ch.receiver->loc().str());
-            unpack(ch, *msg);
-            written_values += static_cast<double>(ch.recv.cells()) *
-                              mesh_->registry().ncompConserved();
-            innermost += ch.recv.i.count();
-        }
-        // One batched unpack kernel per block; prolongation of coarse
-        // slabs happens inside (GPU-offloaded).
-        recordKernel(ctx, "SetBounds", written_values,
-                     {1.0, 2.0 * sizeof(double)},
-                     innermost / static_cast<double>(channels.size()));
-        recordSerial(ctx, "bound_buf_metadata",
-                     static_cast<double>(channels.size()));
+void
+GhostExchange::setBlockBounds(MeshBlock& block)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    const auto& channels = cache_->recvIndex(block.gid());
+    if (channels.empty())
+        return;
+    double written_values = 0;
+    double innermost = 0;
+    for (int idx : channels) {
+        const BoundsChannel& ch = cache_->bounds()[idx];
+        auto msg = world_->receive(ch.id);
+        require(msg.has_value(), "missing buffer for channel into ",
+                ch.receiver->loc().str());
+        unpack(ch, *msg);
+        written_values += static_cast<double>(ch.recv.cells()) *
+                          mesh_->registry().ncompConserved();
+        innermost += ch.recv.i.count();
     }
-    pending_receives_ = 0;
+    // One batched unpack kernel per block; prolongation of coarse
+    // slabs happens inside (GPU-offloaded).
+    recordKernelAt(ctx, "SetBounds", block.rank(), "SetBounds",
+                   written_values, {1.0, 2.0 * sizeof(double)},
+                   innermost / static_cast<double>(channels.size()));
+    recordSerialAt(ctx, "SetBounds", block.rank(), "bound_buf_metadata",
+                   static_cast<double>(channels.size()));
+    pending_receives_.fetch_sub(channels.size());
 }
 
 void
@@ -337,25 +371,42 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
 void
 GhostExchange::exchangeFluxCorrections()
 {
-    const ExecContext& ctx = mesh_->ctx();
-    {
-        PhaseScope scope(ctx.profiler(), "SendBoundBufs");
-        for (const auto& ch : cache_->flux()) {
-            ctx.setCurrentRank(ch.sender->rank());
-            packAndSendFlux(ch);
-        }
-        if (!cache_->flux().empty())
-            recordSerial(ctx, "bound_buf_metadata",
-                         static_cast<double>(cache_->flux().size()));
-    }
-    {
-        PhaseScope scope(ctx.profiler(), "SetBounds");
-        for (const auto& ch : cache_->flux()) {
-            ctx.setCurrentRank(ch.receiver->rank());
-            auto msg = world_->receive(ch.id);
-            require(msg.has_value(), "missing flux-correction buffer");
-            unpackFlux(ch, *msg);
-        }
+    for (const auto& block : mesh_->blocks())
+        sendBlockFluxCorrections(*block);
+    for (const auto& block : mesh_->blocks())
+        setBlockFluxCorrections(*block);
+}
+
+void
+GhostExchange::sendBlockFluxCorrections(const MeshBlock& block)
+{
+    const auto& channels = cache_->fluxSendIndex(block.gid());
+    if (channels.empty())
+        return;
+    for (int idx : channels)
+        packAndSendFlux(cache_->flux()[idx]);
+    recordSerialAt(mesh_->ctx(), "SendBoundBufs", block.rank(),
+                   "bound_buf_metadata",
+                   static_cast<double>(channels.size()));
+}
+
+bool
+GhostExchange::pollBlockFluxCorrections(const MeshBlock& block)
+{
+    for (int idx : cache_->fluxRecvIndex(block.gid()))
+        if (!world_->iprobe(cache_->flux()[idx].id))
+            return false;
+    return true;
+}
+
+void
+GhostExchange::setBlockFluxCorrections(MeshBlock& block)
+{
+    for (int idx : cache_->fluxRecvIndex(block.gid())) {
+        const FluxChannel& ch = cache_->flux()[idx];
+        auto msg = world_->receive(ch.id);
+        require(msg.has_value(), "missing flux-correction buffer");
+        unpackFlux(ch, *msg);
     }
 }
 
@@ -407,19 +458,19 @@ GhostExchange::packAndSendFlux(const FluxChannel& ch)
                                                 f[0] + di);
                         payload.push_back(sum * inv);
                     }
-        // Restriction arithmetic is GPU work inside the pack kernel.
-        recordKernel(ctx, "SendBoundBufs",
-                     faces * ncomp, {1.0, 2.0 * sizeof(double)},
-                     static_cast<double>(ch.recvFaces.i.count()));
-    } else {
-        recordKernel(ctx, "SendBoundBufs", faces * ncomp,
-                     {1.0, 2.0 * sizeof(double)},
-                     static_cast<double>(ch.recvFaces.i.count()));
     }
+    // Restriction arithmetic is GPU work inside the pack kernel; the
+    // launch is accounted identically in counting mode.
+    recordKernelAt(ctx, "SendBoundBufs", ch.sender->rank(),
+                   "SendBoundBufs", faces * ncomp,
+                   {1.0, 2.0 * sizeof(double)},
+                   static_cast<double>(ch.recvFaces.i.count()));
     const bool remote = ch.sender->rank() != ch.receiver->rank();
-    recordSerial(ctx, remote ? "msg_remote" : "msg_local", 1.0);
-    recordSerial(ctx, remote ? "msg_remote_bytes" : "msg_local_bytes",
-                 bytes);
+    recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
+                   remote ? "msg_remote" : "msg_local", 1.0);
+    recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
+                   remote ? "msg_remote_bytes" : "msg_local_bytes",
+                   bytes);
     world_->isend(ch.id, ch.sender->rank(), ch.receiver->rank(),
                   std::move(payload), bytes);
 }
@@ -429,10 +480,10 @@ GhostExchange::unpackFlux(const FluxChannel& ch, const Message& msg)
 {
     const ExecContext& ctx = mesh_->ctx();
     const int ncomp = mesh_->registry().ncompConserved();
-    recordKernel(ctx, "SetBounds",
-                 static_cast<double>(ch.wireFaces()) * ncomp,
-                 {0.0, 2.0 * sizeof(double)},
-                 static_cast<double>(ch.recvFaces.i.count()));
+    recordKernelAt(ctx, "SetBounds", ch.receiver->rank(), "SetBounds",
+                   static_cast<double>(ch.wireFaces()) * ncomp,
+                   {0.0, 2.0 * sizeof(double)},
+                   static_cast<double>(ch.recvFaces.i.count()));
     if (!ctx.executing())
         return;
     RealArray4& flux = ch.receiver->flux(ch.dir);
@@ -448,6 +499,13 @@ GhostExchange::unpackFlux(const FluxChannel& ch, const Message& msg)
 void
 GhostExchange::applyPhysicalBoundaries()
 {
+    for (const auto& block : mesh_->blocks())
+        applyPhysicalBoundariesBlock(*block);
+}
+
+void
+GhostExchange::applyPhysicalBoundariesBlock(MeshBlock& block)
+{
     const ExecContext& ctx = mesh_->ctx();
     if (mesh_->config().periodic || !ctx.executing())
         return;
@@ -455,47 +513,45 @@ GhostExchange::applyPhysicalBoundaries()
     const int ncomp = mesh_->registry().ncompConserved();
     const BlockTree& tree = mesh_->tree();
 
-    for (const auto& block : mesh_->blocks()) {
-        // Outflow (zero-gradient): clamp every ghost index to the
-        // interior for directions without a neighbor.
-        const auto& loc = block->loc();
-        auto at_boundary = [&](int d, int side) {
-            LogicalLocation probe = loc;
-            std::int64_t* lx = d == 0   ? &probe.lx1
-                               : d == 1 ? &probe.lx2
-                                        : &probe.lx3;
-            *lx += side;
-            return !tree.validIndex(probe);
-        };
-        RealArray4& cons = block->cons();
-        const int is = shape.is(), ie = shape.ie();
-        const int js = shape.js(), je = shape.je();
-        const int ks = shape.ks(), ke = shape.ke();
-        auto clamp_fill = [&](int kl, int ku, int jl, int ju, int il,
-                              int iu) {
-            for (int n = 0; n < ncomp; ++n)
-                for (int k = kl; k <= ku; ++k)
-                    for (int j = jl; j <= ju; ++j)
-                        for (int i = il; i <= iu; ++i)
-                            cons(n, k, j, i) = cons(
-                                n, std::clamp(k, ks, ke),
-                                std::clamp(j, js, je),
-                                std::clamp(i, is, ie));
-        };
-        const int nk = shape.nk(), nj = shape.nj(), ni = shape.ni();
-        if (at_boundary(0, -1))
-            clamp_fill(0, nk - 1, 0, nj - 1, 0, is - 1);
-        if (at_boundary(0, +1))
-            clamp_fill(0, nk - 1, 0, nj - 1, ie + 1, ni - 1);
-        if (shape.ndim >= 2 && at_boundary(1, -1))
-            clamp_fill(0, nk - 1, 0, js - 1, 0, ni - 1);
-        if (shape.ndim >= 2 && at_boundary(1, +1))
-            clamp_fill(0, nk - 1, je + 1, nj - 1, 0, ni - 1);
-        if (shape.ndim >= 3 && at_boundary(2, -1))
-            clamp_fill(0, ks - 1, 0, nj - 1, 0, ni - 1);
-        if (shape.ndim >= 3 && at_boundary(2, +1))
-            clamp_fill(ke + 1, nk - 1, 0, nj - 1, 0, ni - 1);
-    }
+    // Outflow (zero-gradient): clamp every ghost index to the
+    // interior for directions without a neighbor.
+    const auto& loc = block.loc();
+    auto at_boundary = [&](int d, int side) {
+        LogicalLocation probe = loc;
+        std::int64_t* lx = d == 0   ? &probe.lx1
+                           : d == 1 ? &probe.lx2
+                                    : &probe.lx3;
+        *lx += side;
+        return !tree.validIndex(probe);
+    };
+    RealArray4& cons = block.cons();
+    const int is = shape.is(), ie = shape.ie();
+    const int js = shape.js(), je = shape.je();
+    const int ks = shape.ks(), ke = shape.ke();
+    auto clamp_fill = [&](int kl, int ku, int jl, int ju, int il,
+                          int iu) {
+        for (int n = 0; n < ncomp; ++n)
+            for (int k = kl; k <= ku; ++k)
+                for (int j = jl; j <= ju; ++j)
+                    for (int i = il; i <= iu; ++i)
+                        cons(n, k, j, i) =
+                            cons(n, std::clamp(k, ks, ke),
+                                 std::clamp(j, js, je),
+                                 std::clamp(i, is, ie));
+    };
+    const int nk = shape.nk(), nj = shape.nj(), ni = shape.ni();
+    if (at_boundary(0, -1))
+        clamp_fill(0, nk - 1, 0, nj - 1, 0, is - 1);
+    if (at_boundary(0, +1))
+        clamp_fill(0, nk - 1, 0, nj - 1, ie + 1, ni - 1);
+    if (shape.ndim >= 2 && at_boundary(1, -1))
+        clamp_fill(0, nk - 1, 0, js - 1, 0, ni - 1);
+    if (shape.ndim >= 2 && at_boundary(1, +1))
+        clamp_fill(0, nk - 1, je + 1, nj - 1, 0, ni - 1);
+    if (shape.ndim >= 3 && at_boundary(2, -1))
+        clamp_fill(0, ks - 1, 0, nj - 1, 0, ni - 1);
+    if (shape.ndim >= 3 && at_boundary(2, +1))
+        clamp_fill(ke + 1, nk - 1, 0, nj - 1, 0, ni - 1);
 }
 
 } // namespace vibe

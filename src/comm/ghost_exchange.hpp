@@ -15,9 +15,29 @@
  * Flux correction reuses the same machinery on flux fields only
  * (§II-C), replacing the coarse face flux with the restricted sum of
  * the fine fluxes so conservation holds across levels.
+ *
+ * Each phase is available in two granularities:
+ *
+ * - The monolithic phase functions (exchangeBounds() and friends) run
+ *   a whole phase over every block, as the seed did. They are used by
+ *   driver initialization and by direct tests.
+ * - The per-block task factories (sendBlockBounds, pollBlockBounds,
+ *   setBlockBounds, and the flux-correction trio) are the graph nodes
+ *   the task-graph driver schedules, so boundary polling interleaves
+ *   with interior compute (§II-C). They are safe to run concurrently
+ *   for distinct blocks: every send reads only the sender's interior,
+ *   every unpack writes only the receiver's ghosts (or its own flux
+ *   faces), and all profiler records carry explicit phase/rank
+ *   attribution instead of touching shared ambient state.
+ *
+ * Per-cycle state (pending-receive count, wire-cell counter, stale
+ * mailbox entries from a cycle that threw) is reset at the top of
+ * startReceiveBoundBufs(), so an exchange aborted mid-cycle can never
+ * leave the next one waiting on phantom messages.
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "comm/boundary_buffers.hpp"
@@ -41,20 +61,43 @@ class GhostExchange
     void receiveBoundBufs();
     void setBounds();
 
+    // --- Per-block task factories (bounds cycle) ---
+
+    /** Pack and isend every channel whose sender is `block`. */
+    void sendBlockBounds(const MeshBlock& block);
+    /**
+     * Probe the channels into `block`; true when every expected buffer
+     * is present (polling cost recorded once, on completion).
+     */
+    bool pollBlockBounds(const MeshBlock& block);
+    /** Receive and unpack every channel into `block`. */
+    void setBlockBounds(MeshBlock& block);
+
     /**
      * Run one flux-correction exchange. Must be called after fluxes are
      * computed and before FluxDivergence consumes them.
      */
     void exchangeFluxCorrections();
 
+    // --- Per-block task factories (flux-correction cycle) ---
+
+    /** Restrict-pack and isend the corrections `block` sends. */
+    void sendBlockFluxCorrections(const MeshBlock& block);
+    /** Probe the flux channels into `block`; true when all present. */
+    bool pollBlockFluxCorrections(const MeshBlock& block);
+    /** Receive and apply the corrections destined for `block`. */
+    void setBlockFluxCorrections(MeshBlock& block);
+
     /**
      * Fill ghost zones at non-periodic physical boundaries with
      * zero-gradient (outflow) data. No-op for periodic domains.
      */
     void applyPhysicalBoundaries();
+    /** Physical-boundary fill for one block (task-graph node). */
+    void applyPhysicalBoundariesBlock(MeshBlock& block);
 
-    /** Ghost cells moved in the most recent exchangeBounds(). */
-    std::int64_t lastWireCells() const { return last_wire_cells_; }
+    /** Ghost cells moved in the most recent exchange cycle. */
+    std::int64_t lastWireCells() const { return last_wire_cells_.load(); }
 
   private:
     void packAndSend(const BoundsChannel& ch);
@@ -65,8 +108,8 @@ class GhostExchange
     Mesh* mesh_;
     RankWorld* world_;
     BoundaryBufferCache* cache_;
-    std::int64_t last_wire_cells_ = 0;
-    std::uint64_t pending_receives_ = 0;
+    std::atomic<std::int64_t> last_wire_cells_{0};
+    std::atomic<std::uint64_t> pending_receives_{0};
 };
 
 } // namespace vibe

@@ -31,6 +31,7 @@ RankWorld::isend(const ChannelId& channel, int src, int dst,
 {
     require(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
             "isend rank out of range: ", src, " -> ", dst);
+    std::lock_guard<std::mutex> lock(mutex_);
     if (src == dst) {
         ++traffic_.localMessages;
         traffic_.localBytes += bytes;
@@ -45,6 +46,7 @@ RankWorld::isend(const ChannelId& channel, int src, int dst,
 bool
 RankWorld::iprobe(const ChannelId& channel)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++traffic_.probes;
     auto it = mailboxes_.find(channel);
     return it != mailboxes_.end() && !it->second.empty();
@@ -53,6 +55,7 @@ RankWorld::iprobe(const ChannelId& channel)
 std::optional<Message>
 RankWorld::receive(const ChannelId& channel)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++traffic_.tests;
     auto it = mailboxes_.find(channel);
     if (it == mailboxes_.end() || it->second.empty())
@@ -63,9 +66,30 @@ RankWorld::receive(const ChannelId& channel)
     return msg;
 }
 
+std::size_t
+RankWorld::discardPending(const ChannelId& channel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(channel);
+    if (it == mailboxes_.end())
+        return 0;
+    const std::size_t dropped = it->second.size();
+    it->second.clear();
+    pending_total_ -= dropped;
+    return dropped;
+}
+
+std::size_t
+RankWorld::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_total_;
+}
+
 void
 RankWorld::allGather(double bytes_per_rank)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++traffic_.allGathers;
     traffic_.collectiveBytes += bytes_per_rank * nranks_;
 }
@@ -73,6 +97,7 @@ RankWorld::allGather(double bytes_per_rank)
 void
 RankWorld::allReduce(double bytes)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++traffic_.allReduces;
     traffic_.collectiveBytes += bytes;
 }
@@ -80,6 +105,7 @@ RankWorld::allReduce(double bytes)
 void
 RankWorld::accountTransfer(int src, int dst, double bytes)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (src == dst) {
         ++traffic_.localMessages;
         traffic_.localBytes += bytes;

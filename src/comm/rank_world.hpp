@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -79,6 +80,11 @@ struct Traffic
  * later by the performance model, which is the right decomposition for
  * a single-node characterization where MPI progress is driven by
  * polling (§II-D).
+ *
+ * Point-to-point operations and collectives are internally locked so
+ * the task-graph executor can issue sends and probes from concurrent
+ * per-block tasks; `traffic()` must only be read at quiescent points
+ * (no exchange in flight), as the driver does between phases.
  */
 class RankWorld
 {
@@ -97,8 +103,16 @@ class RankWorld
     /** MPI_Test + receive: take the pending message, if any. */
     std::optional<Message> receive(const ChannelId& channel);
 
+    /**
+     * Silently drop any messages pending on `channel` (no traffic is
+     * accounted). Used to clear stale deliveries left behind by an
+     * exchange that threw mid-cycle.
+     * @return Number of messages discarded.
+     */
+    std::size_t discardPending(const ChannelId& channel);
+
     /** Messages still undelivered (should be 0 between phases). */
-    std::size_t pendingCount() const { return pending_total_; }
+    std::size_t pendingCount() const;
 
     /** AllGather of `bytes_per_rank` contributed by every rank. */
     void allGather(double bytes_per_rank);
@@ -117,6 +131,7 @@ class RankWorld
 
   private:
     int nranks_;
+    mutable std::mutex mutex_;
     std::unordered_map<ChannelId, std::deque<Message>, ChannelIdHash>
         mailboxes_;
     std::size_t pending_total_ = 0;

@@ -77,7 +77,10 @@ EvolutionDriver::initialize()
     exchange_.exchangeBounds();
     exchange_.applyPhysicalBoundaries();
     package_->fillDerived(*mesh_);
-    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
+    // The timestep is NOT estimated here: doCycle() computes it once
+    // at the top of every step. A second pre-loop estimate would
+    // double-count the EstTimeMesh sweep in the profiler (and run a
+    // full extra mesh sweep) without changing any dt a cycle uses.
 }
 
 void
@@ -90,6 +93,12 @@ EvolutionDriver::run()
 void
 EvolutionDriver::doCycle()
 {
+    // --- EstimateTimeStep: once per step. The mesh is untouched
+    // between the end of the previous cycle and here, so estimating at
+    // the top of the cycle yields the identical dt the old
+    // end-of-previous-cycle estimate produced, with half the sweeps.
+    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
+
     CycleStats stats;
     stats.cycle = cycle_;
     stats.time = time_;
@@ -107,9 +116,6 @@ EvolutionDriver::doCycle()
 
     // --- LoadBalancingAndAMR ---
     loadBalancingAndAmr();
-
-    // --- EstimateTimeStep ---
-    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
 
     // --- Per-cycle history output (VIBE's MassHistory) ---
     stats.mass = package_->massHistory(*mesh_, *world_);
@@ -141,74 +147,137 @@ EvolutionDriver::step()
 
     saveState(*mesh_);
     for (int stage = 1; stage <= 2; ++stage) {
-        TaskList tl;
-        const TaskId t_start = tl.addTask("StartReceiveBoundBufs", [&] {
-            exchange_.startReceiveBoundBufs();
-            return TaskStatus::Complete;
-        });
-        const TaskId t_send = tl.addTask(
-            "SendBoundBufs",
-            [&] {
-                exchange_.sendBoundBufs();
-                return TaskStatus::Complete;
-            },
-            {t_start});
-        const TaskId t_recv = tl.addTask(
-            "ReceiveBoundBufs",
-            [&] {
-                exchange_.receiveBoundBufs();
-                return TaskStatus::Complete;
-            },
-            {t_send});
-        const TaskId t_set = tl.addTask(
-            "SetBounds",
-            [&] {
-                exchange_.setBounds();
-                exchange_.applyPhysicalBoundaries();
-                return TaskStatus::Complete;
-            },
-            {t_recv});
-        const TaskId t_flux = tl.addTask(
-            "CalculateFluxes",
-            [&] {
-                package_->calculateFluxes(*mesh_);
-                return TaskStatus::Complete;
-            },
-            {t_set});
-        TaskId t_prev = t_flux;
-        if (fc) {
-            t_prev = tl.addTask(
-                "FluxCorrection",
-                [&] {
-                    exchange_.exchangeFluxCorrections();
-                    return TaskStatus::Complete;
-                },
-                {t_flux});
-        }
-        const TaskId t_div = tl.addTask(
-            "FluxDivergence",
-            [&] {
-                package_->fluxDivergence(*mesh_);
-                return TaskStatus::Complete;
-            },
-            {t_prev});
-        tl.addTask(
-            "WeightedSumData",
-            [&, stage] {
-                if (stage == 1)
-                    stage1Update(*mesh_, dt_);
-                else
-                    stage2Update(*mesh_, dt_);
-                return TaskStatus::Complete;
-            },
-            {t_div});
-        tl.execute();
+        TaskList tl = buildStageGraph(stage, fc);
+        TaskExecOptions options;
+        options.space = &mesh_->ctx().space();
+        tl.execute(options);
+        task_wall_seconds_ += tl.lastExecuteSeconds();
+        task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
+        task_compute_seconds_ +=
+            tl.categorySeconds(TaskCategory::Compute);
 
         comm_cells_ += exchange_.lastWireCells();
         if (fc)
             comm_faces_ += cache_.totalWireFaces();
     }
     package_->fillDerived(*mesh_);
+}
+
+/**
+ * One RK stage as a per-block task graph (paper §II-C): every block
+ * contributes its own send / poll / unpack / flux / divergence /
+ * update chain, so boundary-receive polling tasks interleave with the
+ * interior compute of blocks whose ghosts already arrived. Tasks for
+ * distinct blocks only touch their own block's data (sends read the
+ * sender's interior, unpacks write the receiver's ghosts), which is
+ * what makes threaded execution bitwise identical to the serial scan.
+ */
+TaskList
+EvolutionDriver::buildStageGraph(int stage, bool flux_correction)
+{
+    TaskList tl;
+    const TaskId t_start = tl.addTask(
+        "StartReceiveBoundBufs",
+        [this] {
+            exchange_.startReceiveBoundBufs();
+            return TaskStatus::Complete;
+        },
+        {}, TaskCategory::Comm);
+
+    // The §VIII-B memory optimization shares reconstruction scratch
+    // across blocks; under a threaded executor the flux tasks must
+    // then run one at a time.
+    const bool serialize_flux =
+        mesh_->config().optimizeAuxMemory &&
+        mesh_->ctx().space().concurrency() > 1;
+    TaskId prev_flux = -1;
+
+    for (const auto& block_ptr : mesh_->blocks()) {
+        MeshBlock* block = block_ptr.get();
+        const std::string gid = std::to_string(block->gid());
+        // Sends read only the sender's interior and unpacks write only
+        // the receiver's ghosts, so SetBounds needs no edge to the
+        // block's own send task — the receive poll alone gates it.
+        const TaskId t_send = tl.addTask(
+            "SendBoundBufs:" + gid,
+            [this, block] {
+                exchange_.sendBlockBounds(*block);
+                return TaskStatus::Complete;
+            },
+            {t_start}, TaskCategory::Comm);
+        const TaskId t_poll = tl.addTask(
+            "ReceiveBoundBufs:" + gid,
+            [this, block] {
+                return exchange_.pollBlockBounds(*block)
+                           ? TaskStatus::Complete
+                           : TaskStatus::Iterate;
+            },
+            {t_start}, TaskCategory::Comm);
+        const TaskId t_set = tl.addTask(
+            "SetBounds:" + gid,
+            [this, block] {
+                exchange_.setBlockBounds(*block);
+                exchange_.applyPhysicalBoundariesBlock(*block);
+                return TaskStatus::Complete;
+            },
+            {t_poll}, TaskCategory::Comm);
+
+        std::vector<TaskId> flux_deps{t_set};
+        if (serialize_flux && prev_flux >= 0)
+            flux_deps.push_back(prev_flux);
+        const TaskId t_flux = tl.addTask(
+            "CalculateFluxes:" + gid,
+            [this, block] {
+                package_->calculateFluxesBlock(*mesh_, *block);
+                return TaskStatus::Complete;
+            },
+            std::move(flux_deps));
+        prev_flux = t_flux;
+
+        TaskId t_prev = t_flux;
+        if (flux_correction) {
+            const TaskId t_fsend = tl.addTask(
+                "FluxCorrSend:" + gid,
+                [this, block] {
+                    exchange_.sendBlockFluxCorrections(*block);
+                    return TaskStatus::Complete;
+                },
+                {t_flux}, TaskCategory::Comm);
+            const TaskId t_fpoll = tl.addTask(
+                "FluxCorrRecv:" + gid,
+                [this, block] {
+                    return exchange_.pollBlockFluxCorrections(*block)
+                               ? TaskStatus::Complete
+                               : TaskStatus::Iterate;
+                },
+                {t_flux}, TaskCategory::Comm);
+            t_prev = tl.addTask(
+                "FluxCorrApply:" + gid,
+                [this, block] {
+                    exchange_.setBlockFluxCorrections(*block);
+                    return TaskStatus::Complete;
+                },
+                {t_fsend, t_fpoll}, TaskCategory::Comm);
+        }
+        const TaskId t_div = tl.addTask(
+            "FluxDivergence:" + gid,
+            [this, block] {
+                package_->fluxDivergenceBlock(*mesh_, *block);
+                return TaskStatus::Complete;
+            },
+            {t_prev});
+        // The update rewrites the block's interior, which the block's
+        // own send task reads — the t_send edge keeps a slow pack from
+        // racing an overtaking update chain.
+        tl.addTask(
+            "WeightedSumData:" + gid,
+            [this, block, stage] {
+                stageUpdateBlock(*mesh_, *block, stage, dt_);
+                return TaskStatus::Complete;
+            },
+            {t_div, t_send});
+    }
+    return tl;
 }
 
 RefinementFlagMap

@@ -22,6 +22,7 @@
 #include "comm/rank_world.hpp"
 #include "driver/load_balance.hpp"
 #include "driver/tagger.hpp"
+#include "driver/task_list.hpp"
 #include "mesh/mesh.hpp"
 #include "solver/burgers.hpp"
 #include "solver/rk2.hpp"
@@ -100,6 +101,15 @@ class EvolutionDriver
     /** Total flux-correction faces communicated so far. */
     std::int64_t commFaces() const { return comm_faces_; }
 
+    /**
+     * Wall seconds spent executing the stage task graphs so far, and
+     * the per-category task-time sums. Comm + compute exceeding wall
+     * is exchange time hidden behind interior compute (fig14).
+     */
+    double taskWallSeconds() const { return task_wall_seconds_; }
+    double taskCommSeconds() const { return task_comm_seconds_; }
+    double taskComputeSeconds() const { return task_compute_seconds_; }
+
     const std::vector<CycleStats>& history() const { return history_; }
 
     BoundaryBufferCache& bufferCache() { return cache_; }
@@ -107,6 +117,7 @@ class EvolutionDriver
 
   private:
     void step();
+    TaskList buildStageGraph(int stage, bool flux_correction);
     void loadBalancingAndAmr();
     void applyRestructureData(const Mesh::Restructure& restructure);
     RefinementFlagMap collectFlags();
@@ -128,6 +139,9 @@ class EvolutionDriver
     std::int64_t zone_cycles_ = 0;
     std::int64_t comm_cells_ = 0;
     std::int64_t comm_faces_ = 0;
+    double task_wall_seconds_ = 0;
+    double task_comm_seconds_ = 0;
+    double task_compute_seconds_ = 0;
     std::vector<CycleStats> history_;
 };
 

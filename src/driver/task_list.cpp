@@ -1,31 +1,106 @@
 #include "driver/task_list.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "exec/execution_space.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
 TaskId
-TaskList::addTask(std::string name, TaskFn fn, std::vector<TaskId> deps)
+TaskList::addTask(std::string name, TaskFn fn, std::vector<TaskId> deps,
+                  TaskCategory category)
 {
     for (TaskId dep : deps)
         require(dep >= 0 && dep < static_cast<TaskId>(tasks_.size()),
                 "task '", name, "' depends on unknown task id ", dep);
     tasks_.push_back({std::move(name), std::move(fn), std::move(deps),
-                      false});
+                      category, false, 0.0});
     return static_cast<TaskId>(tasks_.size()) - 1;
 }
 
 void
 TaskList::execute(int max_passes)
 {
-    completion_order_.clear();
-    for (auto& task : tasks_)
-        task.complete = false;
+    TaskExecOptions options;
+    options.max_passes = max_passes;
+    execute(options);
+}
 
+void
+TaskList::execute(const TaskExecOptions& options)
+{
+    resetRunState();
+    const auto start = Clock::now();
+    if (options.space && options.space->concurrency() > 1 &&
+        tasks_.size() > 1)
+        executeThreaded(options, *options.space);
+    else
+        executeSerial(options);
+    last_execute_seconds_ = secondsSince(start);
+}
+
+double
+TaskList::categorySeconds(TaskCategory category) const
+{
+    double total = 0;
+    for (const auto& task : tasks_)
+        if (task.category == category)
+            total += task.seconds;
+    return total;
+}
+
+void
+TaskList::resetRunState()
+{
+    completion_order_.clear();
+    last_execute_seconds_ = 0;
+    for (auto& task : tasks_) {
+        task.complete = false;
+        task.seconds = 0;
+    }
+}
+
+std::string
+TaskList::incompleteNames() const
+{
+    std::string names;
+    for (const auto& task : tasks_) {
+        if (task.complete)
+            continue;
+        if (!names.empty())
+            names += ", ";
+        names += task.name;
+    }
+    return names;
+}
+
+void
+TaskList::executeSerial(const TaskExecOptions& options)
+{
     std::size_t done = 0;
-    for (int pass = 0; pass < max_passes && done < tasks_.size();
+    int stalled_passes = 0;
+    for (int pass = 0; pass < options.max_passes && done < tasks_.size();
          ++pass) {
         bool any_ran = false;
+        std::size_t completed_this_pass = 0;
         for (auto& task : tasks_) {
             if (task.complete)
                 continue;
@@ -38,22 +113,187 @@ TaskList::execute(int max_passes)
             if (!ready)
                 continue;
             any_ran = true;
-            if (task.fn() == TaskStatus::Complete) {
+            const auto start = Clock::now();
+            const TaskStatus status = task.fn();
+            task.seconds += secondsSince(start);
+            if (status == TaskStatus::Complete) {
                 task.complete = true;
                 completion_order_.push_back(task.name);
                 ++done;
+                ++completed_this_pass;
             }
         }
         if (!any_ran && done < tasks_.size()) {
             // Nothing is runnable yet incomplete tasks remain: a
-            // dependency cycle. (Polling tasks that merely Iterate are
-            // handled by the max_passes bound below.)
+            // dependency cycle.
             panic("task list deadlocked with ", tasks_.size() - done,
-                  " incomplete tasks");
+                  " incomplete tasks: ", incompleteNames());
+        }
+        // Progress stall: tasks ran but only ever returned Iterate. A
+        // permanently-blocked polling task must be named, not burn
+        // every remaining pass into a generic pass-bound failure.
+        if (any_ran && completed_this_pass == 0) {
+            if (++stalled_passes >= options.stall_passes)
+                panic("no task completed in ", stalled_passes,
+                      " consecutive passes; stuck polling tasks: ",
+                      incompleteNames());
+        } else {
+            stalled_passes = 0;
         }
     }
     require(done == tasks_.size(), "task list did not complete within ",
-            max_passes, " passes");
+            options.max_passes,
+            " passes; incomplete tasks: ", incompleteNames());
+}
+
+void
+TaskList::executeThreaded(const TaskExecOptions& options,
+                          ExecutionSpace& space)
+{
+    struct State
+    {
+        TaskList* list = nullptr;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<TaskId> ready;
+        std::vector<int> waiting;
+        std::vector<std::vector<TaskId>> dependents;
+        /** Tasks that have returned Iterate at least once. */
+        std::vector<char> iterated;
+        std::size_t done = 0;
+        std::size_t inflight = 0;
+        /** In-flight tasks that have never iterated (can make real
+         *  progress: complete, send messages, unblock dependents). */
+        std::size_t inflight_fresh = 0;
+        std::uint64_t idle_polls = 0;
+        std::uint64_t idle_limit = 0;
+        bool failed = false;
+        std::exception_ptr error;
+
+        void failLocked(std::exception_ptr err)
+        {
+            if (!failed) {
+                failed = true;
+                error = std::move(err);
+            }
+            cv.notify_all();
+        }
+    };
+
+    const std::size_t n = tasks_.size();
+    State state;
+    state.list = this;
+    state.waiting.assign(n, 0);
+    state.dependents.assign(n, {});
+    state.iterated.assign(n, 0);
+    state.idle_limit =
+        static_cast<std::uint64_t>(options.stall_passes) * n + 64;
+    for (std::size_t id = 0; id < n; ++id) {
+        state.waiting[id] = static_cast<int>(tasks_[id].deps.size());
+        for (TaskId dep : tasks_[id].deps)
+            state.dependents[dep].push_back(static_cast<TaskId>(id));
+        if (state.waiting[id] == 0)
+            state.ready.push_back(static_cast<TaskId>(id));
+    }
+
+    auto worker = [](void* body, std::int64_t, std::int64_t, int) {
+        State& st = *static_cast<State*>(body);
+        TaskList& list = *st.list;
+        const std::size_t n = list.tasks_.size();
+        std::unique_lock<std::mutex> lock(st.mutex);
+        for (;;) {
+            if (st.failed || st.done == n)
+                return;
+            if (st.ready.empty()) {
+                if (st.inflight == 0) {
+                    // No runnable task, none in flight, incomplete
+                    // tasks remain: a dependency cycle.
+                    st.failLocked(std::make_exception_ptr(PanicError(
+                        detail::concat("task list deadlocked with ",
+                                       n - st.done,
+                                       " incomplete tasks: ",
+                                       list.incompleteNames()))));
+                    return;
+                }
+                st.cv.wait(lock);
+                continue;
+            }
+            const TaskId id = st.ready.front();
+            st.ready.pop_front();
+            ++st.inflight;
+            const bool fresh = !st.iterated[id];
+            if (fresh)
+                ++st.inflight_fresh;
+            lock.unlock();
+
+            TaskStatus status = TaskStatus::Iterate;
+            std::exception_ptr err;
+            const auto start = Clock::now();
+            try {
+                status = list.tasks_[id].fn();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            const double seconds = secondsSince(start);
+            // Give other pollers and pool peers a chance between
+            // fruitless probes of an otherwise idle queue.
+            if (!err && status == TaskStatus::Iterate)
+                std::this_thread::yield();
+
+            lock.lock();
+            --st.inflight;
+            if (fresh)
+                --st.inflight_fresh;
+            list.tasks_[id].seconds += seconds;
+            if (err) {
+                st.failLocked(std::move(err));
+                return;
+            }
+            if (status == TaskStatus::Complete) {
+                list.tasks_[id].complete = true;
+                list.completion_order_.push_back(list.tasks_[id].name);
+                ++st.done;
+                st.idle_polls = 0;
+                for (TaskId dep : st.dependents[id])
+                    if (--st.waiting[dep] == 0)
+                        st.ready.push_back(dep);
+                st.cv.notify_all();
+                continue;
+            }
+            // Iterate: re-queue the poller behind other ready work.
+            st.iterated[id] = 1;
+            st.ready.push_back(id);
+            if (st.inflight_fresh == 0) {
+                // Every in-flight task is a known repeat-poller, so
+                // nothing anywhere can deliver the messages these
+                // polls wait for; if this keeps up they are stuck.
+                if (++st.idle_polls > st.idle_limit) {
+                    st.failLocked(std::make_exception_ptr(PanicError(
+                        detail::concat(
+                            "no task completed in ", st.idle_polls,
+                            " consecutive polls; stuck polling tasks: ",
+                            list.incompleteNames()))));
+                    return;
+                }
+            } else {
+                // A fresh task in flight may still complete and
+                // deliver the messages the poller waits for.
+                st.idle_polls = 0;
+            }
+            st.cv.notify_one();
+        }
+    };
+
+    // Dispatch one worker loop per pool chunk (the calling thread runs
+    // chunk 0). Inside a chunk the space's nested-launch rule makes
+    // every kernel launched by a task body run in-line on that worker,
+    // so tasks are the sole unit of concurrency.
+    space.forEachChunk(space.concurrency(), worker, &state);
+
+    if (state.error)
+        std::rethrow_exception(state.error);
+    require(state.done == n, "threaded task list finished with ",
+            n - state.done, " incomplete tasks: ", incompleteNames());
 }
 
 } // namespace vibe

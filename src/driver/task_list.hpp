@@ -4,6 +4,23 @@
  * each timestep stage as a dependency graph of tasks; polling tasks
  * (e.g. ReceiveBoundBufs) may return Iterate to be re-run until their
  * communication completes.
+ *
+ * Execution has two backends behind one interface:
+ *
+ * - A serial scan (the historical behavior, bit for bit): repeatedly
+ *   sweep the task vector running every ready task until all complete.
+ * - A thread-pool executor: ready tasks are dispatched onto an
+ *   ExecutionSpace (the PR-1 ThreadPoolSpace), each worker pulling
+ *   from a shared ready queue; Iterate tasks are re-queued as polling
+ *   tasks behind other ready work. Kernels launched from inside a task
+ *   body degrade to in-line execution on the worker (the space's
+ *   nested-launch rule), so a task is a unit of concurrency exactly as
+ *   in Parthenon's one-task-per-stream model.
+ *
+ * Both backends record wall time per task (summed over Iterate
+ * retries) and aggregate it by TaskCategory, which is what the
+ * fig14 overlap bench uses to report how much exchange time hides
+ * behind interior compute.
  */
 #pragma once
 
@@ -13,6 +30,8 @@
 
 namespace vibe {
 
+class ExecutionSpace;
+
 /** Result of running one task once. */
 enum class TaskStatus
 {
@@ -20,14 +39,42 @@ enum class TaskStatus
     Iterate,  ///< Not finished (e.g. waiting on messages); re-run later.
 };
 
+/** Coarse task classification for overlap accounting. */
+enum class TaskCategory
+{
+    Compute, ///< Interior kernel work (fluxes, divergence, updates).
+    Comm,    ///< Boundary pack/poll/unpack and flux-correction traffic.
+};
+
 using TaskId = int;
 using TaskFn = std::function<TaskStatus()>;
 
+/** Execution parameters for TaskList::execute. */
+struct TaskExecOptions
+{
+    /** Safety bound on full scans of the serial backend. */
+    int max_passes = 1000;
+    /**
+     * Consecutive zero-completion scans (serial) or idle polls scaled
+     * by the task count (threaded) tolerated before the executor
+     * panics naming the stuck tasks. Distinguishes a permanently
+     * blocked polling task (progress stall) from a plain dependency
+     * cycle, which is detected immediately.
+     */
+    int stall_passes = 100;
+    /**
+     * Space ready tasks are dispatched on. nullptr or concurrency 1
+     * selects the serial scan (bit-exact seed behavior).
+     */
+    ExecutionSpace* space = nullptr;
+};
+
 /**
- * A single-threaded task graph executor with Parthenon-style
- * semantics. Execution repeatedly scans for runnable tasks (all
- * dependencies complete) until every task has completed; a cycle or a
- * permanently-Iterate task triggers an error after a bound on passes.
+ * A task graph executor with Parthenon-style semantics. Tasks are
+ * added with explicit dependencies; execute() runs them to completion
+ * on the configured backend. A cycle panics immediately; a polling
+ * task that stops making progress panics with the incomplete task
+ * names after the stall bound.
  */
 class TaskList
 {
@@ -35,25 +82,43 @@ class TaskList
     /**
      * Add a task.
      * @param deps Tasks that must complete before this one runs.
+     * @param category Overlap-accounting class (Compute by default).
      * @return Id usable as a dependency for later tasks.
      */
     TaskId addTask(std::string name, TaskFn fn,
-                   std::vector<TaskId> deps = {});
+                   std::vector<TaskId> deps = {},
+                   TaskCategory category = TaskCategory::Compute);
 
     /** Number of tasks added. */
     std::size_t size() const { return tasks_.size(); }
 
-    /**
-     * Run all tasks to completion.
-     * @param max_passes Safety bound on full scans (default generous).
-     */
+    /** Run all tasks to completion on the serial backend. */
     void execute(int max_passes = 1000);
 
-    /** Names in completion order of the last execute() call. */
+    /** Run all tasks to completion with explicit options. */
+    void execute(const TaskExecOptions& options);
+
+    /**
+     * Names in completion order of the last execute() call. Serial
+     * execution completes tasks in deterministic scan order; the
+     * threaded executor records the actual completion sequence, which
+     * is always a topological order of the dependency graph.
+     */
     const std::vector<std::string>& completionOrder() const
     {
         return completion_order_;
     }
+
+    /** Wall seconds of the last execute() call. */
+    double lastExecuteSeconds() const { return last_execute_seconds_; }
+
+    /**
+     * Summed task wall seconds of the last execute() for one category
+     * (Iterate retries included). Categories can sum to more than
+     * lastExecuteSeconds() when tasks overlap — that surplus is the
+     * communication time hidden behind compute.
+     */
+    double categorySeconds(TaskCategory category) const;
 
   private:
     struct Task
@@ -61,11 +126,20 @@ class TaskList
         std::string name;
         TaskFn fn;
         std::vector<TaskId> deps;
+        TaskCategory category = TaskCategory::Compute;
         bool complete = false;
+        double seconds = 0;
     };
+
+    void resetRunState();
+    void executeSerial(const TaskExecOptions& options);
+    void executeThreaded(const TaskExecOptions& options,
+                         ExecutionSpace& space);
+    std::string incompleteNames() const;
 
     std::vector<Task> tasks_;
     std::vector<std::string> completion_order_;
+    double last_execute_seconds_ = 0;
 };
 
 } // namespace vibe

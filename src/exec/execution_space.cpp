@@ -1,6 +1,7 @@
 #include "exec/execution_space.hpp"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -198,6 +199,16 @@ sharedSerialSpace()
     static const std::shared_ptr<ExecutionSpace> serial =
         std::make_shared<SerialSpace>();
     return serial;
+}
+
+int
+envNumThreads(int fallback)
+{
+    const char* value = std::getenv("VIBE_NUM_THREADS");
+    if (!value || !*value)
+        return fallback;
+    const int threads = std::atoi(value);
+    return threads >= 1 ? threads : fallback;
 }
 
 } // namespace vibe

@@ -110,4 +110,11 @@ std::shared_ptr<ExecutionSpace> makeExecutionSpace(int num_threads);
 /** The process-wide stateless SerialSpace instance. */
 const std::shared_ptr<ExecutionSpace>& sharedSerialSpace();
 
+/**
+ * Thread count requested via the VIBE_NUM_THREADS environment variable,
+ * or `fallback` when unset/invalid. Lets the test fixtures and the CI
+ * matrix exercise the threaded executor paths without per-test knobs.
+ */
+int envNumThreads(int fallback = 1);
+
 } // namespace vibe

@@ -369,4 +369,57 @@ recordSerial(const ExecContext& ctx, std::string_view category,
             {{}, category, ctx.currentRank(), items});
 }
 
+// ---------------------------------------------------------------------
+// Explicit-attribution variants for task-graph bodies.
+//
+// Tasks run concurrently on executor workers, so they must not depend
+// on the profiler's ambient phase (PhaseScope/setPhase is a merge
+// point that requires quiescence) nor on the context's ambient
+// current-rank (a shared mutable slot). These variants carry the phase
+// and rank in the record itself; the aggregation keys are identical to
+// the PhaseScope-based path, so serial and threaded runs produce the
+// same tables.
+// ---------------------------------------------------------------------
+
+/** recordKernel with explicit phase and rank attribution. */
+inline void
+recordKernelAt(const ExecContext& ctx, std::string_view phase, int rank,
+               std::string_view name, double items,
+               const KernelCosts& costs, double innermost)
+{
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, phase, rank, 1, items,
+                                items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, innermost});
+    }
+}
+
+/** recordSerial with explicit phase and rank attribution. */
+inline void
+recordSerialAt(const ExecContext& ctx, std::string_view phase, int rank,
+               std::string_view category, double items)
+{
+    if (ctx.profiler())
+        ctx.profiler()->recordSerial({phase, category, rank, items});
+}
+
+/** 3-D named kernel with explicit phase and rank attribution. */
+template <typename F>
+void
+parForAt(const ExecContext& ctx, std::string_view phase, int rank,
+         std::string_view name, const KernelCosts& costs, int kl, int ku,
+         int jl, int ju, int il, int iu, F&& body)
+{
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    const double items = nk * nj * ni;
+    if (ctx.profiler()) {
+        ctx.profiler()->record({name, phase, rank, 1, items,
+                                items * costs.flopsPerItem,
+                                items * costs.bytesPerItem, ni});
+    }
+    parForExec(ctx, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
+}
+
 } // namespace vibe

@@ -113,8 +113,14 @@ BurgersPackage::initializeBlock(const ExecContext& ctx, MeshBlock& block,
 void
 BurgersPackage::calculateFluxes(Mesh& mesh) const
 {
+    for (const auto& block : mesh.blocks())
+        calculateFluxesBlock(mesh, *block);
+}
+
+void
+BurgersPackage::calculateFluxesBlock(Mesh& mesh, MeshBlock& block) const
+{
     const ExecContext& ctx = mesh.ctx();
-    PhaseScope scope(ctx.profiler(), "CalculateFluxes");
     const BlockShape s = mesh.config().blockShape();
     const int ncomp = mesh.registry().ncompConserved();
     const int ndim = s.ndim;
@@ -128,107 +134,109 @@ BurgersPackage::calculateFluxes(Mesh& mesh) const
         // write per direction (stencil reuse hits cache).
         ndim * ncomp * 4.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
-        ctx.setCurrentRank(block->rank());
-        recordKernel(ctx, "CalculateFluxes",
-                     static_cast<double>(s.interiorCells()), costs,
-                     static_cast<double>(s.nx1));
-        if (!ctx.executing())
-            continue;
+    recordKernelAt(ctx, "CalculateFluxes", block.rank(),
+                   "CalculateFluxes",
+                   static_cast<double>(s.interiorCells()), costs,
+                   static_cast<double>(s.nx1));
+    if (!ctx.executing())
+        return;
 
-        RealArray4& cons = block->cons();
-        for (int d = 0; d < ndim; ++d) {
-            RealArray4* rl = block->reconL(d);
-            RealArray4* rr = block->reconR(d);
-            require(rl && rr, "reconstruction scratch missing");
-            RealArray4& flux = block->flux(d);
-            const int di = d == 0 ? 1 : 0;
-            const int dj = d == 1 ? 1 : 0;
-            const int dk = d == 2 ? 1 : 0;
-            // Face range: interior faces of dim d, interior cells in
-            // transverse dims.
-            const int fis = s.is(), fie = s.ie() + di;
-            const int fjs = s.js(), fje = s.je() + dj;
-            const int fks = s.ks(), fke = s.ke() + dk;
+    RealArray4& cons = block.cons();
+    for (int d = 0; d < ndim; ++d) {
+        RealArray4* rl = block.reconL(d);
+        RealArray4* rr = block.reconR(d);
+        require(rl && rr, "reconstruction scratch missing");
+        RealArray4& flux = block.flux(d);
+        const int di = d == 0 ? 1 : 0;
+        const int dj = d == 1 ? 1 : 0;
+        const int dk = d == 2 ? 1 : 0;
+        // Face range: interior faces of dim d, interior cells in
+        // transverse dims.
+        const int fis = s.is(), fie = s.ie() + di;
+        const int fjs = s.js(), fje = s.je() + dj;
+        const int fks = s.ks(), fke = s.ke() + dk;
 
-            // Both passes are accounted by the per-block recordKernel
-            // above; parForExec only dispatches them on the space.
-            parForExec(ctx, 0, ncomp - 1, fks, fke, fjs, fje, fis, fie,
-                       [&](int n, int k, int j, int i) {
-                           auto c = [&](int shift) {
-                               return cons(n, k + shift * dk,
-                                           j + shift * dj, i + shift * di);
-                           };
-                           double left, right;
-                           if (config_.recon == ReconMethod::Weno5) {
-                               left = weno5Face(c(-3), c(-2), c(-1), c(0),
-                                                c(1));
-                               right = weno5Face(c(2), c(1), c(0), c(-1),
-                                                 c(-2));
-                           } else {
-                               left = plmFace(c(-2), c(-1), c(0));
-                               right = plmFace(c(1), c(0), c(-1));
-                           }
-                           (*rl)(n, k, j, i) = left;
-                           (*rr)(n, k, j, i) = right;
-                       });
+        // Both passes are accounted by the per-block recordKernelAt
+        // above; parForExec only dispatches them on the space.
+        parForExec(ctx, 0, ncomp - 1, fks, fke, fjs, fje, fis, fie,
+                   [&](int n, int k, int j, int i) {
+                       auto c = [&](int shift) {
+                           return cons(n, k + shift * dk,
+                                       j + shift * dj, i + shift * di);
+                       };
+                       double left, right;
+                       if (config_.recon == ReconMethod::Weno5) {
+                           left = weno5Face(c(-3), c(-2), c(-1), c(0),
+                                            c(1));
+                           right = weno5Face(c(2), c(1), c(0), c(-1),
+                                             c(-2));
+                       } else {
+                           left = plmFace(c(-2), c(-1), c(0));
+                           right = plmFace(c(1), c(0), c(-1));
+                       }
+                       (*rl)(n, k, j, i) = left;
+                       (*rr)(n, k, j, i) = right;
+                   });
 
-            // HLL pass over the same faces.
-            parForExec(
-                ctx, fks, fke, fjs, fje, fis, fie,
-                [&](int k, int j, int i) {
-                    static thread_local std::vector<double> ul, ur, f;
-                    if (ul.size() != static_cast<std::size_t>(ncomp)) {
-                        ul.resize(ncomp);
-                        ur.resize(ncomp);
-                        f.resize(ncomp);
-                    }
-                    for (int n = 0; n < ncomp; ++n) {
-                        ul[n] = (*rl)(n, k, j, i);
-                        ur[n] = (*rr)(n, k, j, i);
-                    }
-                    hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
-                    for (int n = 0; n < ncomp; ++n)
-                        flux(n, k, j, i) = f[n];
-                });
-        }
+        // HLL pass over the same faces.
+        parForExec(
+            ctx, fks, fke, fjs, fje, fis, fie,
+            [&](int k, int j, int i) {
+                static thread_local std::vector<double> ul, ur, f;
+                if (ul.size() != static_cast<std::size_t>(ncomp)) {
+                    ul.resize(ncomp);
+                    ur.resize(ncomp);
+                    f.resize(ncomp);
+                }
+                for (int n = 0; n < ncomp; ++n) {
+                    ul[n] = (*rl)(n, k, j, i);
+                    ur[n] = (*rr)(n, k, j, i);
+                }
+                hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
+                for (int n = 0; n < ncomp; ++n)
+                    flux(n, k, j, i) = f[n];
+            });
     }
 }
 
 void
 BurgersPackage::fluxDivergence(Mesh& mesh) const
 {
+    for (const auto& block : mesh.blocks())
+        fluxDivergenceBlock(mesh, *block);
+}
+
+void
+BurgersPackage::fluxDivergenceBlock(Mesh& mesh, MeshBlock& block) const
+{
     const ExecContext& ctx = mesh.ctx();
-    PhaseScope scope(ctx.profiler(), "FluxDivergence");
     const BlockShape s = mesh.config().blockShape();
     const int ncomp = mesh.registry().ncompConserved();
     const int ndim = s.ndim;
     const KernelCosts costs{ncomp * ndim * 3.0,
                             ncomp * (2.0 * ndim + 1.0) * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
-        ctx.setCurrentRank(block->rank());
-        const BlockGeometry& g = block->geom();
-        const double inv_dx[3] = {1.0 / g.dx1, 1.0 / g.dx2, 1.0 / g.dx3};
-        RealArray4& dudt = block->dudt();
-        parFor(ctx, "FluxDivergence", costs, s.ks(), s.ke(), s.js(),
-               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
-                   for (int n = 0; n < ncomp; ++n) {
-                       double div = (block->flux(0)(n, k, j, i + 1) -
-                                     block->flux(0)(n, k, j, i)) *
-                                    inv_dx[0];
-                       if (ndim >= 2)
-                           div += (block->flux(1)(n, k, j + 1, i) -
-                                   block->flux(1)(n, k, j, i)) *
-                                  inv_dx[1];
-                       if (ndim >= 3)
-                           div += (block->flux(2)(n, k + 1, j, i) -
-                                   block->flux(2)(n, k, j, i)) *
-                                  inv_dx[2];
-                       dudt(n, k, j, i) = -div;
-                   }
-               });
-    }
+    const BlockGeometry& g = block.geom();
+    const double inv_dx[3] = {1.0 / g.dx1, 1.0 / g.dx2, 1.0 / g.dx3};
+    RealArray4& dudt = block.dudt();
+    parForAt(ctx, "FluxDivergence", block.rank(), "FluxDivergence",
+             costs, s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
+             [&](int k, int j, int i) {
+                 for (int n = 0; n < ncomp; ++n) {
+                     double div = (block.flux(0)(n, k, j, i + 1) -
+                                   block.flux(0)(n, k, j, i)) *
+                                  inv_dx[0];
+                     if (ndim >= 2)
+                         div += (block.flux(1)(n, k, j + 1, i) -
+                                 block.flux(1)(n, k, j, i)) *
+                                inv_dx[1];
+                     if (ndim >= 3)
+                         div += (block.flux(2)(n, k + 1, j, i) -
+                                 block.flux(2)(n, k, j, i)) *
+                                inv_dx[2];
+                     dudt(n, k, j, i) = -div;
+                 }
+             });
 }
 
 void

@@ -73,8 +73,20 @@ class BurgersPackage
      */
     void calculateFluxes(Mesh& mesh) const;
 
+    /**
+     * Reconstruction + fluxes for one block (task-graph node). Reads
+     * only the block's own data, so distinct blocks may run
+     * concurrently — unless the mesh shares reconstruction scratch
+     * (optimizeAuxMemory), in which case the driver serializes these
+     * tasks.
+     */
+    void calculateFluxesBlock(Mesh& mesh, MeshBlock& block) const;
+
     /** dudt = -div(flux) on every block (kernel "FluxDivergence"). */
     void fluxDivergence(Mesh& mesh) const;
+
+    /** Flux divergence for one block (task-graph node). */
+    void fluxDivergenceBlock(Mesh& mesh, MeshBlock& block) const;
 
     /** d = 0.5 q0 u.u (kernel "CalculateDerived"). */
     void fillDerived(Mesh& mesh) const;

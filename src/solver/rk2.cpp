@@ -6,32 +6,38 @@ namespace vibe {
 
 namespace {
 
-/** Shared implementation: u <- wa*u0 + wb*u + wc*dt*dudt. */
+/** Per-block implementation: u <- wa*u0 + wb*u + wc*dt*dudt. */
 void
-weightedSum(Mesh& mesh, double wa, double wb, double wc, double dt)
+weightedSumBlock(Mesh& mesh, MeshBlock& block, double wa, double wb,
+                 double wc, double dt)
 {
     const ExecContext& ctx = mesh.ctx();
-    PhaseScope scope(ctx.profiler(), "WeightedSumData");
     const BlockShape s = mesh.config().blockShape();
     const int ncomp = mesh.registry().ncompConserved();
     // Per cell: ncomp fused multiply-adds over three registers.
     const KernelCosts costs{ncomp * 5.0, ncomp * 4.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
-        ctx.setCurrentRank(block->rank());
-        recordSerial(ctx, "string_lookup",
-                     static_cast<double>(mesh.registry().all().size()));
-        RealArray4& cons = block->cons();
-        RealArray4& cons0 = block->cons0();
-        RealArray4& dudt = block->dudt();
-        parFor(ctx, "WeightedSumData", costs, s.ks(), s.ke(), s.js(),
-               s.je(), s.is(), s.ie(), [&](int k, int j, int i) {
-                   for (int n = 0; n < ncomp; ++n)
-                       cons(n, k, j, i) = wa * cons0(n, k, j, i) +
-                                          wb * cons(n, k, j, i) +
-                                          wc * dt * dudt(n, k, j, i);
-               });
-    }
+    recordSerialAt(ctx, "WeightedSumData", block.rank(), "string_lookup",
+                   static_cast<double>(mesh.registry().all().size()));
+    RealArray4& cons = block.cons();
+    RealArray4& cons0 = block.cons0();
+    RealArray4& dudt = block.dudt();
+    parForAt(ctx, "WeightedSumData", block.rank(), "WeightedSumData",
+             costs, s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
+             [&](int k, int j, int i) {
+                 for (int n = 0; n < ncomp; ++n)
+                     cons(n, k, j, i) = wa * cons0(n, k, j, i) +
+                                        wb * cons(n, k, j, i) +
+                                        wc * dt * dudt(n, k, j, i);
+             });
+}
+
+/** Whole-mesh form: one weighted sum per block. */
+void
+weightedSum(Mesh& mesh, double wa, double wb, double wc, double dt)
+{
+    for (const auto& block : mesh.blocks())
+        weightedSumBlock(mesh, *block, wa, wb, wc, dt);
 }
 
 } // namespace
@@ -67,6 +73,15 @@ void
 stage2Update(Mesh& mesh, double dt)
 {
     weightedSum(mesh, 0.5, 0.5, 0.5, dt);
+}
+
+void
+stageUpdateBlock(Mesh& mesh, MeshBlock& block, int stage, double dt)
+{
+    if (stage == 1)
+        weightedSumBlock(mesh, block, 1.0, 0.0, 1.0, dt);
+    else
+        weightedSumBlock(mesh, block, 0.5, 0.5, 0.5, dt);
 }
 
 } // namespace vibe

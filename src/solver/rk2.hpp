@@ -25,4 +25,12 @@ void stage1Update(Mesh& mesh, double dt);
 /** Second RK2 stage: u <- 0.5 u0 + 0.5 u + 0.5 dt * dudt. */
 void stage2Update(Mesh& mesh, double dt);
 
+/**
+ * RK2 stage update (1 or 2) for one block — the task-graph node form.
+ * Touches only the block's own registers, so distinct blocks may run
+ * concurrently.
+ */
+void stageUpdateBlock(Mesh& mesh, MeshBlock& block, int stage,
+                      double dt);
+
 } // namespace vibe

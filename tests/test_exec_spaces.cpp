@@ -227,7 +227,10 @@ TEST(MeshConfig, NumThreadsKnob)
 // ---------------------------------------------------------------------
 // Headline equivalence: a threaded numeric AMR run must reproduce the
 // serial run exactly — same block structure, bit-identical conserved
-// variables, identical timestep history and profiler totals.
+// variables, identical timestep history and profiler totals. Since the
+// task-graph driver, this covers the full asynchronous stage graph:
+// per-block sends, polling receive tasks, unpacks, flux correction and
+// updates all dispatched concurrently on the ThreadPoolSpace.
 // ---------------------------------------------------------------------
 
 struct RippleRun
@@ -240,7 +243,7 @@ struct RippleRun
 };
 
 RippleRun
-runRipple(int num_threads)
+runRipple(int num_threads, bool optimize_aux = false)
 {
     RippleRun out;
     KernelProfiler profiler;
@@ -255,6 +258,7 @@ runRipple(int num_threads)
         8;
     mesh_config.amrLevels = 2;
     mesh_config.numThreads = num_threads;
+    mesh_config.optimizeAuxMemory = optimize_aux;
     Mesh mesh(mesh_config, registry, ctx);
     RankWorld world(2);
 
@@ -287,26 +291,48 @@ runRipple(int num_threads)
 TEST(ExecutionSpace, ThreadedNumericRunMatchesSerialExactly)
 {
     const RippleRun serial = runRipple(1);
-    const RippleRun threaded = runRipple(4);
+    for (int threads : {2, 4}) {
+        const RippleRun threaded = runRipple(threads);
 
-    ASSERT_EQ(serial.finalBlocks, threaded.finalBlocks);
+        ASSERT_EQ(serial.finalBlocks, threaded.finalBlocks);
+        ASSERT_EQ(serial.locs, threaded.locs);
+        ASSERT_EQ(serial.dts.size(), threaded.dts.size());
+        for (std::size_t c = 0; c < serial.dts.size(); ++c)
+            EXPECT_EQ(serial.dts[c], threaded.dts[c])
+                << threads << " threads, cycle " << c;
+
+        ASSERT_EQ(serial.cons.size(), threaded.cons.size());
+        for (std::size_t b = 0; b < serial.cons.size(); ++b) {
+            ASSERT_EQ(serial.cons[b].size(), threaded.cons[b].size());
+            // Bitwise comparison: elementwise kernels compute each
+            // cell identically and min/max reductions are
+            // chunking-exact, so the conserved state may not drift by
+            // even one ulp — task scheduling order included.
+            EXPECT_EQ(
+                std::memcmp(serial.cons[b].data(),
+                            threaded.cons[b].data(),
+                            serial.cons[b].size() * sizeof(double)),
+                0)
+                << threads << " threads, block " << serial.locs[b];
+        }
+    }
+}
+
+TEST(ExecutionSpace, SharedScratchSerializesFluxTasksCorrectly)
+{
+    // With the §VIII-B shared reconstruction scratch, per-block flux
+    // tasks are chained under the threaded executor; the result must
+    // still match the serial run bitwise.
+    const RippleRun serial = runRipple(1, true);
+    const RippleRun threaded = runRipple(4, true);
     ASSERT_EQ(serial.locs, threaded.locs);
-    ASSERT_EQ(serial.dts.size(), threaded.dts.size());
-    for (std::size_t c = 0; c < serial.dts.size(); ++c)
-        EXPECT_EQ(serial.dts[c], threaded.dts[c]) << "cycle " << c;
-
     ASSERT_EQ(serial.cons.size(), threaded.cons.size());
-    for (std::size_t b = 0; b < serial.cons.size(); ++b) {
-        ASSERT_EQ(serial.cons[b].size(), threaded.cons[b].size());
-        // Bitwise comparison: elementwise kernels compute each cell
-        // identically and min/max reductions are chunking-exact, so
-        // the conserved state may not drift by even one ulp.
+    for (std::size_t b = 0; b < serial.cons.size(); ++b)
         EXPECT_EQ(std::memcmp(serial.cons[b].data(),
                               threaded.cons[b].data(),
                               serial.cons[b].size() * sizeof(double)),
                   0)
             << "block " << serial.locs[b];
-    }
 }
 
 TEST(ExecutionSpace, ProfilerTotalsIdenticalAcrossBackends)

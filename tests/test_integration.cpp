@@ -12,6 +12,7 @@
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
 #include "driver/tagger.hpp"
+#include "exec/execution_space.hpp"
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
 
@@ -37,7 +38,12 @@ struct Sim
               return config;
           }())
     {
-        ctx = std::make_unique<ExecContext>(mode, &profiler, &tracker);
+        // VIBE_NUM_THREADS (the CI threaded matrix leg) routes every
+        // integration run through the threaded executor; results are
+        // bitwise identical to serial by design.
+        ctx = std::make_unique<ExecContext>(
+            mode, &profiler, &tracker,
+            makeExecutionSpace(envNumThreads()));
         MeshConfig config;
         config.nx1 = config.nx2 = config.nx3 = mesh_nx;
         config.blockNx1 = config.blockNx2 = config.blockNx3 = block_nx;
