@@ -260,6 +260,9 @@ BoundaryBufferCache::rebuild()
                  static_cast<double>(bounds_.size()));
     recordSerial(mesh_->ctx(), "buffer_cache_metadata",
                  static_cast<double>(bounds_.size() + flux_.size()));
+
+    if (rebuild_hook_)
+        rebuild_hook_();
 }
 
 std::int64_t

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "comm/rank_world.hpp"
@@ -145,6 +147,18 @@ class BoundaryBufferCache
     /** Number of cache rebuilds performed (serial-cost driver). */
     std::uint64_t rebuildCount() const { return rebuild_count_; }
 
+    /**
+     * Invoked at the end of every rebuild(). The cache is rebuilt on
+     * exactly the events that invalidate per-mesh block tables
+     * (restructure, load-balance moves), so dependents — the driver's
+     * MeshBlockPack view tables — hook here to invalidate in lockstep
+     * instead of tracking remesh events themselves.
+     */
+    void setRebuildHook(std::function<void()> hook)
+    {
+        rebuild_hook_ = std::move(hook);
+    }
+
   private:
     BoundsChannel makeBoundsChannel(MeshBlock& receiver,
                                     const NeighborBlock& nb) const;
@@ -161,6 +175,7 @@ class BoundaryBufferCache
     std::vector<std::vector<int>> flux_send_index_;
     std::vector<std::vector<int>> flux_recv_index_;
     std::uint64_t rebuild_count_ = 0;
+    std::function<void()> rebuild_hook_;
 };
 
 } // namespace vibe

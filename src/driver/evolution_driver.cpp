@@ -1,5 +1,7 @@
 #include "driver/evolution_driver.hpp"
 
+#include <chrono>
+
 #include "driver/task_list.hpp"
 #include "exec/memory_tracker.hpp"
 #include "exec/par_for.hpp"
@@ -35,6 +37,10 @@ EvolutionDriver::EvolutionDriver(Mesh& mesh,
       exchange_(mesh, world, cache_)
 {
     dt_ = config_.fixedDt;
+    // The buffer cache is rebuilt on exactly the events that stale the
+    // pack's view tables (restructure, load-balance moves); ride that
+    // hook instead of tracking remesh events separately.
+    cache_.setRebuildHook([this] { pack_.invalidate(); });
 }
 
 void
@@ -76,7 +82,10 @@ EvolutionDriver::initialize()
     cache_.rebuild();
     exchange_.exchangeBounds();
     exchange_.applyPhysicalBoundaries();
-    package_->fillDerived(*mesh_);
+    if (mesh_->config().packInterior)
+        package_->fillDerivedPack(*mesh_, ensurePack());
+    else
+        package_->fillDerived(*mesh_);
     // The timestep is NOT estimated here: doCycle() computes it once
     // at the top of every step. A second pre-loop estimate would
     // double-count the EstTimeMesh sweep in the profiler (and run a
@@ -97,7 +106,11 @@ EvolutionDriver::doCycle()
     // between the end of the previous cycle and here, so estimating at
     // the top of the cycle yields the identical dt the old
     // end-of-previous-cycle estimate produced, with half the sweeps.
-    dt_ = package_->estimateTimestep(*mesh_, *world_, config_.fixedDt);
+    dt_ = mesh_->config().packInterior
+              ? package_->estimateTimestepPack(*mesh_, ensurePack(),
+                                               *world_, config_.fixedDt)
+              : package_->estimateTimestep(*mesh_, *world_,
+                                           config_.fixedDt);
 
     CycleStats stats;
     stats.cycle = cycle_;
@@ -145,6 +158,11 @@ EvolutionDriver::step()
 {
     const bool fc = mesh_->config().amrLevels > 1;
 
+    if (mesh_->config().packInterior) {
+        stepPacked(fc);
+        return;
+    }
+
     saveState(*mesh_);
     for (int stage = 1; stage <= 2; ++stage) {
         TaskList tl = buildStageGraph(stage, fc);
@@ -161,6 +179,101 @@ EvolutionDriver::step()
             comm_faces_ += cache_.totalWireFaces();
     }
     package_->fillDerived(*mesh_);
+}
+
+MeshBlockPack&
+EvolutionDriver::ensurePack()
+{
+    pack_.ensureBuilt(*mesh_);
+    return pack_;
+}
+
+/**
+ * Fused-pack timestep (paper fig05 small-block regime): ghost exchange
+ * and flux correction still run as per-block task graphs — those are
+ * genuinely irregular — but every interior phase is ONE hierarchical
+ * pack launch over all blocks instead of one launch (or task) per
+ * block. The chunked (block x cells) domain keeps all workers loaded
+ * even when num_blocks < num_threads or blocks are tiny, and the
+ * per-launch pool synchronization is paid once per phase rather than
+ * once per block. The tradeoff versus the per-block graph is
+ * exchange/compute overlap, which the launch-overhead savings dominate
+ * exactly where packing is enabled.
+ *
+ * Fused compute is accounted into the task wall/compute counters so
+ * the fig14-style overlap arithmetic stays well-defined in pack mode.
+ */
+void
+EvolutionDriver::stepPacked(bool flux_correction)
+{
+    using clock = std::chrono::steady_clock;
+    MeshBlockPack& pack = ensurePack();
+    TaskExecOptions options;
+    options.space = &mesh_->ctx().space();
+
+    saveStatePack(*mesh_, pack);
+    for (int stage = 1; stage <= 2; ++stage) {
+        TaskList bounds = buildBoundsGraph();
+        bounds.execute(options);
+        task_wall_seconds_ += bounds.lastExecuteSeconds();
+        task_comm_seconds_ +=
+            bounds.categorySeconds(TaskCategory::Comm);
+
+        const auto t_flux = clock::now();
+        package_->calculateFluxesPack(*mesh_, pack);
+        double fused_seconds =
+            std::chrono::duration<double>(clock::now() - t_flux)
+                .count();
+
+        if (flux_correction) {
+            TaskList fcorr = buildFluxCorrGraph();
+            fcorr.execute(options);
+            task_wall_seconds_ += fcorr.lastExecuteSeconds();
+            task_comm_seconds_ +=
+                fcorr.categorySeconds(TaskCategory::Comm);
+        }
+
+        const auto t_update = clock::now();
+        package_->fluxDivergencePack(*mesh_, pack);
+        stageUpdatePack(*mesh_, pack, stage, dt_);
+        fused_seconds +=
+            std::chrono::duration<double>(clock::now() - t_update)
+                .count();
+        task_wall_seconds_ += fused_seconds;
+        task_compute_seconds_ += fused_seconds;
+
+        comm_cells_ += exchange_.lastWireCells();
+        if (flux_correction)
+            comm_faces_ += cache_.totalWireFaces();
+    }
+    package_->fillDerivedPack(*mesh_, pack);
+}
+
+TaskList
+EvolutionDriver::buildBoundsGraph()
+{
+    TaskList tl;
+    const TaskId t_start = tl.addTask(
+        "StartReceiveBoundBufs",
+        [this] {
+            exchange_.startReceiveBoundBufs();
+            return TaskStatus::Complete;
+        },
+        {}, TaskCategory::Comm);
+    for (const auto& block_ptr : mesh_->blocks())
+        addBoundsTasks(tl, block_ptr.get(), t_start);
+    return tl;
+}
+
+TaskList
+EvolutionDriver::buildFluxCorrGraph()
+{
+    // All fluxes are already computed when this graph runs, so the
+    // send/poll pair needs no dependencies.
+    TaskList tl;
+    for (const auto& block_ptr : mesh_->blocks())
+        addFluxCorrTasks(tl, block_ptr.get(), {});
+    return tl;
 }
 
 /**
@@ -195,34 +308,9 @@ EvolutionDriver::buildStageGraph(int stage, bool flux_correction)
     for (const auto& block_ptr : mesh_->blocks()) {
         MeshBlock* block = block_ptr.get();
         const std::string gid = std::to_string(block->gid());
-        // Sends read only the sender's interior and unpacks write only
-        // the receiver's ghosts, so SetBounds needs no edge to the
-        // block's own send task — the receive poll alone gates it.
-        const TaskId t_send = tl.addTask(
-            "SendBoundBufs:" + gid,
-            [this, block] {
-                exchange_.sendBlockBounds(*block);
-                return TaskStatus::Complete;
-            },
-            {t_start}, TaskCategory::Comm);
-        const TaskId t_poll = tl.addTask(
-            "ReceiveBoundBufs:" + gid,
-            [this, block] {
-                return exchange_.pollBlockBounds(*block)
-                           ? TaskStatus::Complete
-                           : TaskStatus::Iterate;
-            },
-            {t_start}, TaskCategory::Comm);
-        const TaskId t_set = tl.addTask(
-            "SetBounds:" + gid,
-            [this, block] {
-                exchange_.setBlockBounds(*block);
-                exchange_.applyPhysicalBoundariesBlock(*block);
-                return TaskStatus::Complete;
-            },
-            {t_poll}, TaskCategory::Comm);
+        const BoundsTaskIds bounds = addBoundsTasks(tl, block, t_start);
 
-        std::vector<TaskId> flux_deps{t_set};
+        std::vector<TaskId> flux_deps{bounds.set};
         if (serialize_flux && prev_flux >= 0)
             flux_deps.push_back(prev_flux);
         const TaskId t_flux = tl.addTask(
@@ -235,30 +323,8 @@ EvolutionDriver::buildStageGraph(int stage, bool flux_correction)
         prev_flux = t_flux;
 
         TaskId t_prev = t_flux;
-        if (flux_correction) {
-            const TaskId t_fsend = tl.addTask(
-                "FluxCorrSend:" + gid,
-                [this, block] {
-                    exchange_.sendBlockFluxCorrections(*block);
-                    return TaskStatus::Complete;
-                },
-                {t_flux}, TaskCategory::Comm);
-            const TaskId t_fpoll = tl.addTask(
-                "FluxCorrRecv:" + gid,
-                [this, block] {
-                    return exchange_.pollBlockFluxCorrections(*block)
-                               ? TaskStatus::Complete
-                               : TaskStatus::Iterate;
-                },
-                {t_flux}, TaskCategory::Comm);
-            t_prev = tl.addTask(
-                "FluxCorrApply:" + gid,
-                [this, block] {
-                    exchange_.setBlockFluxCorrections(*block);
-                    return TaskStatus::Complete;
-                },
-                {t_fsend, t_fpoll}, TaskCategory::Comm);
-        }
+        if (flux_correction)
+            t_prev = addFluxCorrTasks(tl, block, {t_flux});
         const TaskId t_div = tl.addTask(
             "FluxDivergence:" + gid,
             [this, block] {
@@ -275,9 +341,73 @@ EvolutionDriver::buildStageGraph(int stage, bool flux_correction)
                 stageUpdateBlock(*mesh_, *block, stage, dt_);
                 return TaskStatus::Complete;
             },
-            {t_div, t_send});
+            {t_div, bounds.send});
     }
     return tl;
+}
+
+EvolutionDriver::BoundsTaskIds
+EvolutionDriver::addBoundsTasks(TaskList& tl, MeshBlock* block,
+                                TaskId t_start)
+{
+    const std::string gid = std::to_string(block->gid());
+    BoundsTaskIds ids;
+    // Sends read only the sender's interior and unpacks write only
+    // the receiver's ghosts, so SetBounds needs no edge to the
+    // block's own send task — the receive poll alone gates it.
+    ids.send = tl.addTask(
+        "SendBoundBufs:" + gid,
+        [this, block] {
+            exchange_.sendBlockBounds(*block);
+            return TaskStatus::Complete;
+        },
+        {t_start}, TaskCategory::Comm);
+    ids.poll = tl.addTask(
+        "ReceiveBoundBufs:" + gid,
+        [this, block] {
+            return exchange_.pollBlockBounds(*block)
+                       ? TaskStatus::Complete
+                       : TaskStatus::Iterate;
+        },
+        {t_start}, TaskCategory::Comm);
+    ids.set = tl.addTask(
+        "SetBounds:" + gid,
+        [this, block] {
+            exchange_.setBlockBounds(*block);
+            exchange_.applyPhysicalBoundariesBlock(*block);
+            return TaskStatus::Complete;
+        },
+        {ids.poll}, TaskCategory::Comm);
+    return ids;
+}
+
+TaskId
+EvolutionDriver::addFluxCorrTasks(TaskList& tl, MeshBlock* block,
+                                  std::vector<TaskId> deps)
+{
+    const std::string gid = std::to_string(block->gid());
+    const TaskId t_fsend = tl.addTask(
+        "FluxCorrSend:" + gid,
+        [this, block] {
+            exchange_.sendBlockFluxCorrections(*block);
+            return TaskStatus::Complete;
+        },
+        deps, TaskCategory::Comm);
+    const TaskId t_fpoll = tl.addTask(
+        "FluxCorrRecv:" + gid,
+        [this, block] {
+            return exchange_.pollBlockFluxCorrections(*block)
+                       ? TaskStatus::Complete
+                       : TaskStatus::Iterate;
+        },
+        std::move(deps), TaskCategory::Comm);
+    return tl.addTask(
+        "FluxCorrApply:" + gid,
+        [this, block] {
+            exchange_.setBlockFluxCorrections(*block);
+            return TaskStatus::Complete;
+        },
+        {t_fsend, t_fpoll}, TaskCategory::Comm);
 }
 
 RefinementFlagMap

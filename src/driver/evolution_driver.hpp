@@ -23,6 +23,7 @@
 #include "driver/load_balance.hpp"
 #include "driver/tagger.hpp"
 #include "driver/task_list.hpp"
+#include "mesh/block_pack.hpp"
 #include "mesh/mesh.hpp"
 #include "solver/burgers.hpp"
 #include "solver/rk2.hpp"
@@ -115,9 +116,44 @@ class EvolutionDriver
     BoundaryBufferCache& bufferCache() { return cache_; }
     GhostExchange& exchange() { return exchange_; }
 
+    /**
+     * The fused-launch pack over the current block list (used when
+     * `MeshConfig::packInterior` is set). Invalidated automatically by
+     * the buffer-cache rebuild hook on every restructure/load-balance
+     * and rebuilt lazily, so between remeshes the view tables are
+     * reused launch after launch.
+     */
+    const MeshBlockPack& interiorPack() const { return pack_; }
+
   private:
     void step();
+    /** Per-stage fused path: comm task graphs + pack launches. */
+    void stepPacked(bool flux_correction);
+    MeshBlockPack& ensurePack();
+    /** Ids of one block's ghost-bounds task trio. */
+    struct BoundsTaskIds
+    {
+        TaskId send = -1, poll = -1, set = -1;
+    };
+    /**
+     * Add one block's send/poll/set ghost-bounds trio gated on
+     * `t_start`. Shared by the per-block stage graph and the packed
+     * bounds-only graph so the two paths cannot diverge.
+     */
+    BoundsTaskIds addBoundsTasks(TaskList& tl, MeshBlock* block,
+                                 TaskId t_start);
+    /**
+     * Add one block's flux-correction send/poll/apply trio; send and
+     * poll take `deps` (the block's flux task in graph mode, nothing
+     * in packed mode). Returns the apply task id.
+     */
+    TaskId addFluxCorrTasks(TaskList& tl, MeshBlock* block,
+                            std::vector<TaskId> deps);
     TaskList buildStageGraph(int stage, bool flux_correction);
+    /** Ghost-bounds-only task graph (send/poll/set per block). */
+    TaskList buildBoundsGraph();
+    /** Flux-correction-only task graph (send/poll/apply per block). */
+    TaskList buildFluxCorrGraph();
     void loadBalancingAndAmr();
     void applyRestructureData(const Mesh::Restructure& restructure);
     RefinementFlagMap collectFlags();
@@ -129,6 +165,7 @@ class EvolutionDriver
     DriverConfig config_;
     BoundaryBufferCache cache_;
     GhostExchange exchange_;
+    MeshBlockPack pack_;
 
     std::int64_t cycle_ = 0;
     double time_ = 0;

@@ -82,6 +82,26 @@ MemoryTracker::labelPeakBytes(const std::string& label) const
 }
 
 void
+MemoryTracker::notePoolHit(std::size_t bytes)
+{
+    require(std::this_thread::get_id() == owner_,
+            "MemoryTracker: pool accounting must run on the owner "
+            "thread (the restructure path is serial)");
+    ++pool_hits_;
+    pool_hit_bytes_ += bytes;
+}
+
+void
+MemoryTracker::notePoolMiss(std::size_t bytes)
+{
+    require(std::this_thread::get_id() == owner_,
+            "MemoryTracker: pool accounting must run on the owner "
+            "thread (the restructure path is serial)");
+    ++pool_misses_;
+    pool_miss_bytes_ += bytes;
+}
+
+void
 MemoryTracker::reset()
 {
     sync();
@@ -90,6 +110,10 @@ MemoryTracker::reset()
     current_ = 0;
     peak_ = 0;
     allocation_calls_ = 0;
+    pool_hits_ = 0;
+    pool_misses_ = 0;
+    pool_hit_bytes_ = 0;
+    pool_miss_bytes_ = 0;
 }
 
 } // namespace vibe

@@ -85,6 +85,26 @@ class MemoryTracker
         return allocation_calls_;
     }
 
+    // --- Block-memory-pool accounting --------------------------------
+    //
+    // The BlockMemoryPool reports every storage request here so the
+    // allocation-churn studies can split remesh traffic into recycled
+    // buffers (pool hits) versus fresh allocator pressure. Pool
+    // operations happen on the restructure path, which runs on the
+    // owner thread, so these counters are direct (not buffered).
+
+    /** Record a storage request served from the pool free list. */
+    void notePoolHit(std::size_t bytes);
+    /** Record a storage request that fell through to the allocator. */
+    void notePoolMiss(std::size_t bytes);
+
+    /** Pool-served storage requests (count / bytes). */
+    std::uint64_t poolHits() const { return pool_hits_; }
+    std::size_t poolHitBytes() const { return pool_hit_bytes_; }
+    /** Allocator-served storage requests (count / bytes). */
+    std::uint64_t poolMisses() const { return pool_misses_; }
+    std::size_t poolMissBytes() const { return pool_miss_bytes_; }
+
     void reset();
 
   private:
@@ -103,6 +123,11 @@ class MemoryTracker
     mutable std::size_t current_ = 0;
     mutable std::size_t peak_ = 0;
     mutable std::uint64_t allocation_calls_ = 0;
+
+    std::uint64_t pool_hits_ = 0;
+    std::uint64_t pool_misses_ = 0;
+    std::size_t pool_hit_bytes_ = 0;
+    std::size_t pool_miss_bytes_ = 0;
 };
 
 } // namespace vibe

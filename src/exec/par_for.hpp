@@ -422,4 +422,250 @@ parForAt(const ExecContext& ctx, std::string_view phase, int rank,
     parForExec(ctx, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
 }
 
+// ---------------------------------------------------------------------
+// Fused MeshBlockPack launches.
+//
+// One kernel launch spans the whole packed (block, n, k, j) domain —
+// the Parthenon MeshBlockPack strategy (Grete et al. 2022) — instead
+// of one launch per block. The flattened row volume is chunked across
+// the execution space, so load balance is restored even when
+// num_blocks < num_threads or blocks are tiny, and the per-launch
+// pool synchronization cost is paid once per phase rather than once
+// per block.
+//
+// Dispatch is hierarchical, mirroring Kokkos team/vector loops: the
+// outer chunked domain iterates rows, the body writes the contiguous
+// innermost i loop itself and receives the chunk id for per-chunk
+// scratch (the serial path and nested launches always pass chunk ids
+// within [0, concurrency())). The serial path visits (b, n, k, j)
+// rows in exactly the per-block launch order, and elementwise bodies
+// compute each cell independently, so pack launches are bit-identical
+// to per-block launches on every backend.
+// ---------------------------------------------------------------------
+
+/** Chunked rows over one block: body(chunk, k, j) writes the i loop.
+ *  Execute-only companion of parForExec for kernels that hoist
+ *  per-chunk scratch to launch setup (one resize per launch, not one
+ *  size check per cell). */
+template <typename F>
+void
+parForExecRows(const ExecContext& ctx, int kl, int ku, int jl, int ju,
+               F&& body)
+{
+    if (!ctx.executing() || ku < kl || ju < jl)
+        return;
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t nk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t nj = static_cast<std::int64_t>(ju) - jl + 1;
+    if (space.concurrency() == 1 || nk * nj <= 1) {
+        for (int k = kl; k <= ku; ++k)
+            for (int j = jl; j <= ju; ++j)
+                body(0, k, j);
+        return;
+    }
+    detail::Launch3<F> launch{body, nj, kl, jl, 0, 0};
+    space.forEachChunk(
+        nk * nj,
+        [](void* p, std::int64_t begin, std::int64_t end, int chunk) {
+            auto* launch = static_cast<detail::Launch3<F>*>(p);
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const int k =
+                    launch->kl + static_cast<int>(idx / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(idx % launch->nj);
+                launch->body(chunk, k, j);
+            }
+        },
+        &launch);
+}
+
+namespace detail {
+
+template <typename F>
+struct LaunchPack
+{
+    F& body;
+    std::int64_t nn, nk, nj;
+    int nl, kl, jl;
+};
+
+} // namespace detail
+
+/**
+ * Execute-only fused pack loop: flatten (block, n, k, j) over all
+ * `nblocks` blocks and chunk it across the space. The body receives
+ * (chunk, b, n, k, j) and writes the contiguous i loop itself; use
+ * nl = nu = 0 for kernels without a leading component dimension.
+ */
+template <typename F>
+void
+parForPackExec(const ExecContext& ctx, int nblocks, int nl, int nu,
+               int kl, int ku, int jl, int ju, F&& body)
+{
+    if (!ctx.executing() || nblocks <= 0 || nu < nl || ku < kl ||
+        ju < jl)
+        return;
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t nn = static_cast<std::int64_t>(nu) - nl + 1;
+    const std::int64_t nk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t nj = static_cast<std::int64_t>(ju) - jl + 1;
+    const std::int64_t rows = nblocks * nn * nk * nj;
+    if (space.concurrency() == 1 || rows <= 1) {
+        for (int b = 0; b < nblocks; ++b)
+            for (int n = nl; n <= nu; ++n)
+                for (int k = kl; k <= ku; ++k)
+                    for (int j = jl; j <= ju; ++j)
+                        body(0, b, n, k, j);
+        return;
+    }
+    detail::LaunchPack<F> launch{body, nn, nk, nj, nl, kl, jl};
+    space.forEachChunk(
+        rows,
+        [](void* p, std::int64_t begin, std::int64_t end, int chunk) {
+            auto* launch = static_cast<detail::LaunchPack<F>*>(p);
+            const std::int64_t per_block =
+                launch->nn * launch->nk * launch->nj;
+            const std::int64_t kj = launch->nk * launch->nj;
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const int b = static_cast<int>(idx / per_block);
+                std::int64_t rem = idx % per_block;
+                const int n =
+                    launch->nl + static_cast<int>(rem / kj);
+                rem %= kj;
+                const int k =
+                    launch->kl + static_cast<int>(rem / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(rem % launch->nj);
+                launch->body(chunk, b, n, k, j);
+            }
+        },
+        &launch);
+}
+
+/**
+ * Record one fused pack launch. The launch count is 1 (it is one
+ * kernel), but items are attributed per rank by runs of equal rank in
+ * block order, so per-rank load tables match the per-block launch
+ * path. Allocation-free: runs are emitted as partial records instead
+ * of building a rank map.
+ */
+inline void
+recordPackKernel(const ExecContext& ctx, std::string_view phase,
+                 std::string_view name, const KernelCosts& costs,
+                 const int* ranks, int nblocks, double items_per_block,
+                 double innermost)
+{
+    if (!ctx.profiler() || nblocks <= 0)
+        return;
+    std::uint64_t launches = 1;
+    int b = 0;
+    while (b < nblocks) {
+        const int rank = ranks[b];
+        int run = 0;
+        while (b < nblocks && ranks[b] == rank) {
+            ++run;
+            ++b;
+        }
+        const double items = run * items_per_block;
+        ctx.profiler()->record({name, phase, rank, launches, items,
+                                items * costs.flopsPerItem,
+                                items * costs.bytesPerItem,
+                                launches ? innermost : 0.0});
+        launches = 0;
+    }
+}
+
+/**
+ * Fused pack kernel: records one launch (per-rank item attribution)
+ * and dispatches the packed row domain. Body as in parForPackExec;
+ * [il, iu] enters the work accounting only — the body owns the loop.
+ */
+template <typename F>
+void
+parForPack(const ExecContext& ctx, std::string_view phase,
+           std::string_view name, const KernelCosts& costs,
+           const int* ranks, int nblocks, int nl, int nu, int kl, int ku,
+           int jl, int ju, int il, int iu, F&& body)
+{
+    const double nn = nu >= nl ? static_cast<double>(nu - nl + 1) : 0.0;
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    recordPackKernel(ctx, phase, name, costs, ranks, nblocks,
+                     nn * nk * nj * ni, ni);
+    parForPackExec(ctx, nblocks, nl, nu, kl, ku, jl, ju,
+                   static_cast<F&&>(body));
+}
+
+/**
+ * Fused pack reduction over (block, k, j) rows; the body receives
+ * (b, k, j, double& acc) and folds the whole row (its own i loop)
+ * into `acc`. Chunk partials are combined in chunk order exactly as
+ * parReduce: min/max results are chunking-exact — identical to the
+ * per-block reduction sequence bit for bit — and sums are
+ * deterministic for a fixed thread count.
+ */
+template <typename F>
+void
+parReducePack(const ExecContext& ctx, std::string_view phase,
+              std::string_view name, const KernelCosts& costs,
+              ReduceOp op, double& result, const int* ranks, int nblocks,
+              int kl, int ku, int jl, int ju, int il, int iu, F&& body)
+{
+    const double nk = ku >= kl ? static_cast<double>(ku - kl + 1) : 0.0;
+    const double nj = ju >= jl ? static_cast<double>(ju - jl + 1) : 0.0;
+    const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
+    recordPackKernel(ctx, phase, name, costs, ranks, nblocks,
+                     nk * nj * ni, ni);
+    if (!ctx.executing() || nblocks <= 0 || ku < kl || ju < jl ||
+        iu < il)
+        return;
+
+    ExecutionSpace& space = ctx.space();
+    const std::int64_t onk = static_cast<std::int64_t>(ku) - kl + 1;
+    const std::int64_t onj = static_cast<std::int64_t>(ju) - jl + 1;
+    const std::int64_t rows = nblocks * onk * onj;
+    if (space.concurrency() == 1 || rows <= 1) {
+        double partial = detail::reduceIdentity(op);
+        for (int b = 0; b < nblocks; ++b)
+            for (int k = kl; k <= ku; ++k)
+                for (int j = jl; j <= ju; ++j)
+                    body(b, k, j, partial);
+        result = detail::reduceCombine(op, result, partial);
+        return;
+    }
+
+    struct ReducePackLaunch
+    {
+        F& body;
+        double* partials;
+        std::int64_t nk, nj;
+        int kl, jl;
+    };
+    std::vector<double> partials(
+        static_cast<std::size_t>(space.concurrency()),
+        detail::reduceIdentity(op));
+    ReducePackLaunch launch{body, partials.data(), onk, onj, kl, jl};
+    space.forEachChunk(
+        rows,
+        [](void* p, std::int64_t begin, std::int64_t end, int chunk) {
+            auto* launch = static_cast<ReducePackLaunch*>(p);
+            const std::int64_t per_block = launch->nk * launch->nj;
+            double acc = launch->partials[chunk];
+            for (std::int64_t idx = begin; idx < end; ++idx) {
+                const int b = static_cast<int>(idx / per_block);
+                const std::int64_t rem = idx % per_block;
+                const int k =
+                    launch->kl + static_cast<int>(rem / launch->nj);
+                const int j =
+                    launch->jl + static_cast<int>(rem % launch->nj);
+                launch->body(b, k, j, acc);
+            }
+            launch->partials[chunk] = acc;
+        },
+        &launch);
+    for (double partial : partials)
+        result = detail::reduceCombine(op, result, partial);
+}
+
 } // namespace vibe

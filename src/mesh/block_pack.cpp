@@ -1,0 +1,52 @@
+#include "mesh/block_pack.hpp"
+
+#include "exec/par_for.hpp"
+
+namespace vibe {
+
+void
+MeshBlockPack::rebuild(Mesh& mesh)
+{
+    const std::size_t nb = mesh.numBlocks();
+    shape_ = mesh.config().blockShape();
+    blocks_.clear();
+    views_.clear();
+    ranks_.clear();
+    blocks_.reserve(nb);
+    views_.reserve(nb);
+    ranks_.reserve(nb);
+
+    for (const auto& block_ptr : mesh.blocks()) {
+        MeshBlock* block = block_ptr.get();
+        BlockPackView view;
+        view.cons = &block->cons();
+        view.cons0 = &block->cons0();
+        view.dudt = &block->dudt();
+        view.derived = &block->derived();
+        for (int d = 0; d < 3; ++d) {
+            view.flux[d] = &block->flux(d);
+            view.reconL[d] = block->reconL(d);
+            view.reconR[d] = block->reconR(d);
+        }
+        const BlockGeometry& geom = block->geom();
+        view.dx1 = geom.dx1;
+        view.dx2 = geom.dx2;
+        view.dx3 = geom.dx3;
+        view.invDx1 = 1.0 / geom.dx1;
+        view.invDx2 = 1.0 / geom.dx2;
+        view.invDx3 = 1.0 / geom.dx3;
+        view.cellVolume = geom.cellVolume();
+        view.level = block->loc().level;
+        view.rank = block->rank();
+        view.gid = block->gid();
+        blocks_.push_back(block);
+        views_.push_back(view);
+        ranks_.push_back(block->rank());
+    }
+
+    recordSerial(mesh.ctx(), "pack_rebuild", static_cast<double>(nb));
+    ++rebuild_count_;
+    valid_ = true;
+}
+
+} // namespace vibe

@@ -27,6 +27,8 @@ MeshConfig::fromParams(const ParameterInput& pin)
     config.optimizeAuxMemory =
         pin.getBool("mesh", "optimize_aux_memory", false);
     config.numThreads = pin.getInt("exec", "num_threads", 1);
+    config.useMemoryPool = pin.getBool("mesh", "use_memory_pool", true);
+    config.packInterior = pin.getBool("exec", "pack_interior", false);
     config.validate();
     return config;
 }
@@ -103,6 +105,11 @@ Mesh::Mesh(const MeshConfig& config, const VariableRegistry& registry,
 {
     config_.validate();
 
+    // Storage recycling only matters when arrays are materialized;
+    // counting-mode blocks register byte counts without backing stores.
+    if (config_.useMemoryPool && ctx_->executing())
+        pool_ = std::make_unique<BlockMemoryPool>(ctx_->tracker());
+
     if (config_.optimizeAuxMemory) {
         // §VIII-B: one shared reconstruction scratch instead of
         // per-block copies. Physically we keep one full-block scratch
@@ -140,7 +147,7 @@ Mesh::makeBlock(const LogicalLocation& loc)
 {
     auto block = std::make_unique<MeshBlock>(
         loc, config_.blockShape(), geometryFor(loc), *registry_, *ctx_,
-        /*own_recon=*/!config_.optimizeAuxMemory);
+        /*own_recon=*/!config_.optimizeAuxMemory, pool_.get());
     if (config_.optimizeAuxMemory && ctx_->executing()) {
         RealArray4* l[3] = {&shared_recon_l_[0], &shared_recon_l_[1],
                             &shared_recon_l_[2]};

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exec/exec_context.hpp"
+#include "mesh/block_memory_pool.hpp"
 #include "mesh/block_tree.hpp"
 #include "mesh/mesh_block.hpp"
 #include "mesh/variable.hpp"
@@ -49,6 +50,24 @@ struct MeshConfig
      * the Mesh itself runs on whatever space its context supplies.
      */
     int numThreads = 1;
+    /**
+     * Recycle block array storage through a size-bucketed free list
+     * (`<mesh> use_memory_pool`, default on): refine/derefine draws
+     * from and returns to the pool instead of hitting the allocator,
+     * and fully-overwritten buffers skip zero-init. Numerically
+     * invisible — state-carrying arrays are still cleared on adopt.
+     */
+    bool useMemoryPool = true;
+    /**
+     * Fuse interior compute into MeshBlockPack launches over all
+     * blocks (`<exec> pack_interior`): one hierarchical kernel per
+     * phase instead of one launch per block, the Parthenon
+     * MeshBlockPack strategy (Grete et al. 2022). Results are bitwise
+     * identical to per-block launches; the tradeoff is per-block
+     * exchange/compute overlap versus per-block launch overhead, so
+     * it wins exactly in the small-block regime of fig05.
+     */
+    bool packInterior = false;
 
     /** Read <mesh>/<meshblock>/<amr> sections of an input deck. */
     static MeshConfig fromParams(const ParameterInput& pin);
@@ -172,6 +191,13 @@ class Mesh
     /** Total neighbor-list entries (comm-graph size). */
     std::size_t totalNeighborLinks() const;
 
+    /**
+     * Block-storage recycling pool (null when disabled or in counting
+     * mode, where no arrays are materialized).
+     */
+    BlockMemoryPool* memoryPool() { return pool_.get(); }
+    const BlockMemoryPool* memoryPool() const { return pool_.get(); }
+
   private:
     std::unique_ptr<MeshBlock> makeBlock(const LogicalLocation& loc);
     /** Sort blocks in Z-order, renumber gids, refresh the index. */
@@ -181,6 +207,8 @@ class Mesh
     const VariableRegistry* registry_;
     const ExecContext* ctx_;
     BlockTree tree_;
+    /** Declared before blocks_ so every block dies before the pool. */
+    std::unique_ptr<BlockMemoryPool> pool_;
     std::vector<std::unique_ptr<MeshBlock>> blocks_;
     std::unordered_map<LogicalLocation, int, LogicalLocationHash>
         loc_to_gid_;

@@ -1,6 +1,7 @@
 #include "mesh/mesh_block.hpp"
 
 #include "exec/memory_tracker.hpp"
+#include "mesh/block_memory_pool.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -8,9 +9,10 @@ namespace vibe {
 MeshBlock::MeshBlock(const LogicalLocation& loc, const BlockShape& shape,
                      const BlockGeometry& geom,
                      const VariableRegistry& registry,
-                     const ExecContext& ctx, bool own_recon)
+                     const ExecContext& ctx, bool own_recon,
+                     BlockMemoryPool* pool)
     : loc_(loc), shape_(shape), geom_(geom), registry_(&registry),
-      tracker_(ctx.tracker()),
+      tracker_(ctx.tracker()), pool_(pool),
       mode_(ctx.executing() ? DataMode::Real : DataMode::Virtual)
 {
     cost_ = static_cast<double>(shape_.interiorCells());
@@ -19,6 +21,19 @@ MeshBlock::MeshBlock(const LogicalLocation& loc, const BlockShape& shape,
 
 MeshBlock::~MeshBlock()
 {
+    if (pool_ && mode_ == DataMode::Real) {
+        pool_->release(cons_.releaseStorage());
+        pool_->release(cons0_.releaseStorage());
+        pool_->release(dudt_.releaseStorage());
+        pool_->release(derived_.releaseStorage());
+        for (int d = 0; d < 3; ++d) {
+            pool_->release(flux_[d].releaseStorage());
+            // Only owned recon scratch goes back; lent (shared) scratch
+            // belongs to the Mesh.
+            pool_->release(recon_l_owned_[d].releaseStorage());
+            pool_->release(recon_r_owned_[d].releaseStorage());
+        }
+    }
     if (tracker_)
         for (const auto& [label, bytes] : registered_)
             tracker_->deallocate(label, bytes);
@@ -49,19 +64,36 @@ MeshBlock::allocateAll(const ExecContext& ctx, bool own_recon)
     };
 
     if (mode_ == DataMode::Real) {
-        cons_ = RealArray4(ncons, nk, nj, ni);
-        cons0_ = RealArray4(ncons, nk, nj, ni);
-        dudt_ = RealArray4(ncons, nk, nj, ni);
-        derived_ = RealArray4(nder, nk, nj, ni);
-        flux_[0] = RealArray4(ncons, nk, nj, ni + 1);
+        // Pooled path: recycled storage, and buffers whose every cell
+        // is written before it is read (fluxes, recon scratch, dudt)
+        // skip the clearing pass — state-carrying arrays are zeroed in
+        // a single assign, so results are bit-identical to the
+        // allocate-and-zero path.
+        const auto make = [&](int nvar, int dk, int dj, int di,
+                              bool zero) {
+            if (pool_) {
+                const std::size_t count = static_cast<std::size_t>(
+                                              nvar) *
+                                          (nk + dk) * (nj + dj) *
+                                          (ni + di);
+                return RealArray4(nvar, nk + dk, nj + dj, ni + di,
+                                  pool_->acquire(count), zero);
+            }
+            return RealArray4(nvar, nk + dk, nj + dj, ni + di);
+        };
+        cons_ = make(ncons, 0, 0, 0, true);
+        cons0_ = make(ncons, 0, 0, 0, true);
+        dudt_ = make(ncons, 0, 0, 0, false);
+        derived_ = make(nder, 0, 0, 0, true);
+        flux_[0] = make(ncons, 0, 0, 1, false);
         if (shape_.ndim >= 2)
-            flux_[1] = RealArray4(ncons, nk, nj + 1, ni);
+            flux_[1] = make(ncons, 0, 1, 0, false);
         if (shape_.ndim >= 3)
-            flux_[2] = RealArray4(ncons, nk + 1, nj, ni);
+            flux_[2] = make(ncons, 1, 0, 0, false);
         if (own_recon) {
             for (int d = 0; d < shape_.ndim; ++d) {
-                recon_l_owned_[d] = RealArray4(ncons, nk, nj, ni);
-                recon_r_owned_[d] = RealArray4(ncons, nk, nj, ni);
+                recon_l_owned_[d] = make(ncons, 0, 0, 0, false);
+                recon_r_owned_[d] = make(ncons, 0, 0, 0, false);
                 recon_l_[d] = &recon_l_owned_[d];
                 recon_r_[d] = &recon_r_owned_[d];
             }

@@ -24,6 +24,8 @@
 
 namespace vibe {
 
+class BlockMemoryPool;
+
 /** Whether block data is materialized or only accounted (counting mode). */
 enum class DataMode { Real, Virtual };
 
@@ -93,10 +95,16 @@ class MeshBlock
      * @param own_recon Allocate per-block reconstruction scratch (the
      *                  pre-§VIII-B layout); if false the Mesh lends a
      *                  shared scratch instead.
+     * @param pool      Optional storage pool: array backing stores are
+     *                  drawn from it and returned on destruction, and
+     *                  buffers whose every cell is written before it
+     *                  is read (fluxes, recon scratch, dudt) skip the
+     *                  zero-init pass entirely. Must outlive the block.
      */
     MeshBlock(const LogicalLocation& loc, const BlockShape& shape,
               const BlockGeometry& geom, const VariableRegistry& registry,
-              const ExecContext& ctx, bool own_recon);
+              const ExecContext& ctx, bool own_recon,
+              BlockMemoryPool* pool = nullptr);
     ~MeshBlock();
 
     MeshBlock(const MeshBlock&) = delete;
@@ -167,6 +175,7 @@ class MeshBlock
     BlockGeometry geom_;
     const VariableRegistry* registry_;
     MemoryTracker* tracker_;
+    BlockMemoryPool* pool_ = nullptr;
     DataMode mode_;
 
     int gid_ = -1;

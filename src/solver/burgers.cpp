@@ -4,10 +4,65 @@
 #include <vector>
 
 #include "exec/par_for.hpp"
+#include "mesh/block_pack.hpp"
 #include "solver/riemann.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
+
+namespace {
+
+/**
+ * Reconstruct one (n, k, j) row of left/right face states at faces
+ * [fis, fie] in the direction with unit offsets (di, dj, dk). The
+ * single definition of the stencil math shared by the per-block and
+ * pack launch bodies — the two paths cannot diverge numerically.
+ */
+inline void
+reconRow(const RealArray4& cons, RealArray4& rl, RealArray4& rr,
+         ReconMethod recon, int n, int k, int j, int fis, int fie,
+         int di, int dj, int dk)
+{
+    for (int i = fis; i <= fie; ++i) {
+        auto c = [&](int shift) {
+            return cons(n, k + shift * dk, j + shift * dj,
+                        i + shift * di);
+        };
+        double left, right;
+        if (recon == ReconMethod::Weno5) {
+            left = weno5Face(c(-3), c(-2), c(-1), c(0), c(1));
+            right = weno5Face(c(2), c(1), c(0), c(-1), c(-2));
+        } else {
+            left = plmFace(c(-2), c(-1), c(0));
+            right = plmFace(c(1), c(0), c(-1));
+        }
+        rl(n, k, j, i) = left;
+        rr(n, k, j, i) = right;
+    }
+}
+
+/**
+ * HLL-solve one (k, j) row of faces [fis, fie] into the flux array.
+ * ul/ur/f are the caller's ncomp-sized per-chunk scratch slices.
+ * Shared by the per-block and pack launch bodies.
+ */
+inline void
+hllRow(const RealArray4& rl, const RealArray4& rr, RealArray4& flux,
+       int d, int ncomp, int k, int j, int fis, int fie, double* ul,
+       double* ur, double* f)
+{
+    for (int i = fis; i <= fie; ++i) {
+        for (int n = 0; n < ncomp; ++n) {
+            ul[n] = rl(n, k, j, i);
+            ur[n] = rr(n, k, j, i);
+        }
+        hllFlux(ul, ur, d, ncomp, f);
+        for (int n = 0; n < ncomp; ++n)
+            flux(n, k, j, i) = f[n];
+    }
+}
+
+} // namespace
 
 BurgersConfig
 BurgersConfig::fromParams(const ParameterInput& pin)
@@ -142,6 +197,23 @@ BurgersPackage::calculateFluxesBlock(Mesh& mesh, MeshBlock& block) const
         return;
 
     RealArray4& cons = block.cons();
+    // One (ul, ur, f) state triple per execution-space chunk, sized
+    // once at launch setup (grow-only, so steady state allocates
+    // nothing); the HLL body indexes it by chunk id. The old
+    // thread_local scratch re-checked its size inside the innermost
+    // flux loop, once per cell. Concurrent per-block flux tasks each
+    // run on their own thread and so get their own buffer; chunks of
+    // a top-level launch index disjoint slices of the launching
+    // thread's buffer, which outlives the synchronous launch.
+    static thread_local std::vector<double> hll_scratch;
+    const std::size_t scratch_need =
+        static_cast<std::size_t>(ctx.space().concurrency()) * 3 * ncomp;
+    if (hll_scratch.size() < scratch_need)
+        hll_scratch.resize(scratch_need);
+    // Captured as a plain pointer: thread_locals are not captured by
+    // lambdas, so without this a pool worker running a chunk would
+    // resolve `hll_scratch` to its own (unsized) instance.
+    double* const scratch_base = hll_scratch.data();
     for (int d = 0; d < ndim; ++d) {
         RealArray4* rl = block.reconL(d);
         RealArray4* rr = block.reconR(d);
@@ -157,44 +229,96 @@ BurgersPackage::calculateFluxesBlock(Mesh& mesh, MeshBlock& block) const
         const int fks = s.ks(), fke = s.ke() + dk;
 
         // Both passes are accounted by the per-block recordKernelAt
-        // above; parForExec only dispatches them on the space.
-        parForExec(ctx, 0, ncomp - 1, fks, fke, fjs, fje, fis, fie,
-                   [&](int n, int k, int j, int i) {
-                       auto c = [&](int shift) {
-                           return cons(n, k + shift * dk,
-                                       j + shift * dj, i + shift * di);
-                       };
-                       double left, right;
-                       if (config_.recon == ReconMethod::Weno5) {
-                           left = weno5Face(c(-3), c(-2), c(-1), c(0),
-                                            c(1));
-                           right = weno5Face(c(2), c(1), c(0), c(-1),
-                                             c(-2));
-                       } else {
-                           left = plmFace(c(-2), c(-1), c(0));
-                           right = plmFace(c(1), c(0), c(-1));
-                       }
-                       (*rl)(n, k, j, i) = left;
-                       (*rr)(n, k, j, i) = right;
-                   });
+        // above; the launches only dispatch them on the space. A
+        // one-block pack launch flattens the identical (n, k, j) row
+        // domain the old 4-D launch chunked, and both passes run the
+        // same shared row kernels as the fused pack path.
+        parForPackExec(ctx, 1, 0, ncomp - 1, fks, fke, fjs, fje,
+                       [&](int, int, int n, int k, int j) {
+                           reconRow(cons, *rl, *rr, config_.recon, n, k,
+                                    j, fis, fie, di, dj, dk);
+                       });
 
-        // HLL pass over the same faces.
-        parForExec(
-            ctx, fks, fke, fjs, fje, fis, fie,
-            [&](int k, int j, int i) {
-                static thread_local std::vector<double> ul, ur, f;
-                if (ul.size() != static_cast<std::size_t>(ncomp)) {
-                    ul.resize(ncomp);
-                    ur.resize(ncomp);
-                    f.resize(ncomp);
-                }
-                for (int n = 0; n < ncomp; ++n) {
-                    ul[n] = (*rl)(n, k, j, i);
-                    ur[n] = (*rr)(n, k, j, i);
-                }
-                hllFlux(ul.data(), ur.data(), d, ncomp, f.data());
-                for (int n = 0; n < ncomp; ++n)
-                    flux(n, k, j, i) = f[n];
+        // HLL pass over the same faces, one row per body call.
+        parForExecRows(
+            ctx, fks, fke, fjs, fje, [&](int chunk, int k, int j) {
+                double* ul = scratch_base +
+                             static_cast<std::size_t>(chunk) * 3 * ncomp;
+                double* ur = ul + ncomp;
+                hllRow(*rl, *rr, flux, d, ncomp, k, j, fis, fie, ul,
+                       ur, ur + ncomp);
+            });
+    }
+}
+
+void
+BurgersPackage::calculateFluxesPack(Mesh& mesh, MeshBlockPack& pack) const
+{
+    // Shared recon scratch (§VIII-B) is lent to every block at once; a
+    // cross-block fused launch would race on it, so keep the serial
+    // per-block sweep there (the task-graph driver serializes the same
+    // way).
+    if (mesh.config().optimizeAuxMemory) {
+        for (int b = 0; b < pack.numBlocks(); ++b)
+            calculateFluxesBlock(mesh, pack.meshBlock(b));
+        return;
+    }
+
+    const ExecContext& ctx = mesh.ctx();
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    const int ndim = s.ndim;
+    const int nb = pack.numBlocks();
+    const double recon_flops =
+        config_.recon == ReconMethod::Weno5 ? kWeno5Flops : kPlmFlops;
+    const KernelCosts costs{
+        ndim * ncomp * (2 * recon_flops + kHllFlopsPerComp),
+        ndim * ncomp * 4.0 * sizeof(double)};
+
+    recordPackKernel(ctx, "CalculateFluxes", "CalculateFluxes", costs,
+                     pack.ranks(), nb,
+                     static_cast<double>(s.interiorCells()),
+                     static_cast<double>(s.nx1));
+    if (!ctx.executing())
+        return;
+
+    // Grow-only per-thread scratch, pointer-snapshotted for capture —
+    // same pattern (and same rationale) as calculateFluxesBlock.
+    static thread_local std::vector<double> hll_scratch;
+    const std::size_t scratch_need =
+        static_cast<std::size_t>(ctx.space().concurrency()) * 3 * ncomp;
+    if (hll_scratch.size() < scratch_need)
+        hll_scratch.resize(scratch_need);
+    double* const scratch_base = hll_scratch.data();
+
+    for (int d = 0; d < ndim; ++d) {
+        const int di = d == 0 ? 1 : 0;
+        const int dj = d == 1 ? 1 : 0;
+        const int dk = d == 2 ? 1 : 0;
+        const int fis = s.is(), fie = s.ie() + di;
+        const int fjs = s.js(), fje = s.je() + dj;
+        const int fks = s.ks(), fke = s.ke() + dk;
+
+        // Reconstruction: one fused launch over (b, n, k, j) rows,
+        // running the same shared row kernel as the per-block path.
+        parForPackExec(
+            ctx, nb, 0, ncomp - 1, fks, fke, fjs, fje,
+            [&](int, int b, int n, int k, int j) {
+                BlockPackView& v = pack.view(b);
+                reconRow(*v.cons, *v.reconL[d], *v.reconR[d],
+                         config_.recon, n, k, j, fis, fie, di, dj, dk);
+            });
+
+        // HLL: one fused launch over (b, k, j) rows, per-chunk scratch.
+        parForPackExec(
+            ctx, nb, 0, 0, fks, fke, fjs, fje,
+            [&](int chunk, int b, int, int k, int j) {
+                BlockPackView& v = pack.view(b);
+                double* ul = scratch_base +
+                             static_cast<std::size_t>(chunk) * 3 * ncomp;
+                double* ur = ul + ncomp;
+                hllRow(*v.reconL[d], *v.reconR[d], *v.flux[d], d,
+                       ncomp, k, j, fis, fie, ul, ur, ur + ncomp);
             });
     }
 }
@@ -240,6 +364,43 @@ BurgersPackage::fluxDivergenceBlock(Mesh& mesh, MeshBlock& block) const
 }
 
 void
+BurgersPackage::fluxDivergencePack(Mesh& mesh, MeshBlockPack& pack) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    const BlockShape s = mesh.config().blockShape();
+    const int ncomp = mesh.registry().ncompConserved();
+    const int ndim = s.ndim;
+    const KernelCosts costs{ncomp * ndim * 3.0,
+                            ncomp * (2.0 * ndim + 1.0) * sizeof(double)};
+
+    parForPack(
+        ctx, "FluxDivergence", "FluxDivergence", costs, pack.ranks(),
+        pack.numBlocks(), 0, 0, s.ks(), s.ke(), s.js(), s.je(), s.is(),
+        s.ie(), [&](int, int b, int, int k, int j) {
+            BlockPackView& v = pack.view(b);
+            const double inv_dx[3] = {v.invDx1, v.invDx2, v.invDx3};
+            const RealArray4& fx = *v.flux[0];
+            const RealArray4& fy = *v.flux[1];
+            const RealArray4& fz = *v.flux[2];
+            RealArray4& dudt = *v.dudt;
+            for (int i = s.is(); i <= s.ie(); ++i) {
+                for (int n = 0; n < ncomp; ++n) {
+                    double div =
+                        (fx(n, k, j, i + 1) - fx(n, k, j, i)) *
+                        inv_dx[0];
+                    if (ndim >= 2)
+                        div += (fy(n, k, j + 1, i) - fy(n, k, j, i)) *
+                               inv_dx[1];
+                    if (ndim >= 3)
+                        div += (fz(n, k + 1, j, i) - fz(n, k, j, i)) *
+                               inv_dx[2];
+                    dudt(n, k, j, i) = -div;
+                }
+            }
+        });
+}
+
+void
 BurgersPackage::fillDerived(Mesh& mesh) const
 {
     const ExecContext& ctx = mesh.ctx();
@@ -266,6 +427,40 @@ BurgersPackage::fillDerived(Mesh& mesh) const
                        0.5 * q0 * (u1 * u1 + u2 * u2 + u3 * u3);
                });
     }
+}
+
+void
+BurgersPackage::fillDerivedPack(Mesh& mesh, MeshBlockPack& pack) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "FillDerived");
+    const BlockShape s = mesh.config().blockShape();
+    const KernelCosts costs{6.0, 6.0 * sizeof(double)};
+    const int nb = pack.numBlocks();
+
+    // The string-keyed variable extraction happens once per block
+    // regardless of launch fusion (§VIII-A serial overhead).
+    const double lookups =
+        static_cast<double>(mesh.registry().all().size());
+    for (int b = 0; b < nb; ++b)
+        recordSerialAt(ctx, "FillDerived", pack.ranks()[b],
+                       "string_lookup", lookups);
+
+    parForPack(ctx, "FillDerived", "CalculateDerived", costs,
+               pack.ranks(), nb, 0, 0, s.ks(), s.ke(), s.js(), s.je(),
+               s.is(), s.ie(), [&](int, int b, int, int k, int j) {
+                   BlockPackView& v = pack.view(b);
+                   const RealArray4& cons = *v.cons;
+                   RealArray4& derived = *v.derived;
+                   for (int i = s.is(); i <= s.ie(); ++i) {
+                       const double u1 = cons(0, k, j, i);
+                       const double u2 = cons(1, k, j, i);
+                       const double u3 = cons(2, k, j, i);
+                       const double q0 = cons(3, k, j, i);
+                       derived(0, k, j, i) =
+                           0.5 * q0 * (u1 * u1 + u2 * u2 + u3 * u3);
+                   }
+               });
 }
 
 double
@@ -302,6 +497,51 @@ BurgersPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
         dt = std::min(dt, block_dt);
         recordSerial(ctx, "dt_reduce", 1.0);
     }
+    // Global min across ranks.
+    world.allReduce(sizeof(double));
+    recordSerial(ctx, "collective", 1.0);
+    return config_.cfl * dt;
+}
+
+double
+BurgersPackage::estimateTimestepPack(Mesh& mesh, MeshBlockPack& pack,
+                                     RankWorld& world,
+                                     double fallback_dt) const
+{
+    const ExecContext& ctx = mesh.ctx();
+    PhaseScope scope(ctx.profiler(), "EstimateTimestep");
+    const BlockShape s = mesh.config().blockShape();
+    const KernelCosts costs{10.0, 3.0 * sizeof(double)};
+    const int nb = pack.numBlocks();
+
+    // Single chunk-ordered min over the packed cell domain: exact
+    // under any chunking, so the dt matches the per-block reduction
+    // sequence bit for bit.
+    double dt = fallback_dt / config_.cfl;
+    parReducePack(
+        ctx, "EstimateTimestep", "EstTimeMesh", costs, ReduceOp::Min,
+        dt, pack.ranks(), nb, s.ks(), s.ke(), s.js(), s.je(), s.is(),
+        s.ie(), [&](int b, int k, int j, double& acc) {
+            BlockPackView& v = pack.view(b);
+            const RealArray4& cons = *v.cons;
+            for (int i = s.is(); i <= s.ie(); ++i) {
+                constexpr double tiny = 1e-12;
+                double cell_dt =
+                    v.dx1 / (std::fabs(cons(0, k, j, i)) + tiny);
+                if (s.ndim >= 2)
+                    cell_dt = std::min(
+                        cell_dt,
+                        v.dx2 / (std::fabs(cons(1, k, j, i)) + tiny));
+                if (s.ndim >= 3)
+                    cell_dt = std::min(
+                        cell_dt,
+                        v.dx3 / (std::fabs(cons(2, k, j, i)) + tiny));
+                acc = std::min(acc, cell_dt);
+            }
+        });
+    for (int b = 0; b < nb; ++b)
+        recordSerialAt(ctx, "EstimateTimestep", pack.ranks()[b],
+                       "dt_reduce", 1.0);
     // Global min across ranks.
     world.allReduce(sizeof(double));
     recordSerial(ctx, "collective", 1.0);

@@ -22,6 +22,8 @@
 
 namespace vibe {
 
+class MeshBlockPack;
+
 /** Physics/numerics parameters for the Burgers package. */
 struct BurgersConfig
 {
@@ -82,14 +84,30 @@ class BurgersPackage
      */
     void calculateFluxesBlock(Mesh& mesh, MeshBlock& block) const;
 
+    /**
+     * Fused-pack reconstruction + fluxes: one hierarchical launch over
+     * the packed (block, n, k, j) face domain per direction instead of
+     * one launch per block. Bitwise identical to the per-block path on
+     * every backend. With the §VIII-B shared recon scratch the fused
+     * launch would race across blocks, so it falls back to the serial
+     * per-block loop (matching the graph driver's serialization).
+     */
+    void calculateFluxesPack(Mesh& mesh, MeshBlockPack& pack) const;
+
     /** dudt = -div(flux) on every block (kernel "FluxDivergence"). */
     void fluxDivergence(Mesh& mesh) const;
 
     /** Flux divergence for one block (task-graph node). */
     void fluxDivergenceBlock(Mesh& mesh, MeshBlock& block) const;
 
+    /** Fused-pack flux divergence over all blocks (one launch). */
+    void fluxDivergencePack(Mesh& mesh, MeshBlockPack& pack) const;
+
     /** d = 0.5 q0 u.u (kernel "CalculateDerived"). */
     void fillDerived(Mesh& mesh) const;
+
+    /** Fused-pack derived fill over all blocks (one launch). */
+    void fillDerivedPack(Mesh& mesh, MeshBlockPack& pack) const;
 
     /**
      * CFL timestep: local min reduction (kernel "EstTimeMesh") followed
@@ -97,6 +115,15 @@ class BurgersPackage
      */
     double estimateTimestep(Mesh& mesh, RankWorld& world,
                             double fallback_dt) const;
+
+    /**
+     * Fused-pack CFL timestep: one chunk-ordered min reduction over
+     * the packed cell domain (exact under any chunking, so the dt is
+     * bit-identical to the per-block reduction sequence).
+     */
+    double estimateTimestepPack(Mesh& mesh, MeshBlockPack& pack,
+                                RankWorld& world,
+                                double fallback_dt) const;
 
     /**
      * History reduction: total q0 mass (kernel "MassHistory") plus an

@@ -33,4 +33,13 @@ void stage2Update(Mesh& mesh, double dt);
 void stageUpdateBlock(Mesh& mesh, MeshBlock& block, int stage,
                       double dt);
 
+class MeshBlockPack;
+
+/** Fused-pack u0 <- u copy over all blocks (one launch). */
+void saveStatePack(Mesh& mesh, MeshBlockPack& pack);
+
+/** Fused-pack RK2 stage update over all blocks (one launch). */
+void stageUpdatePack(Mesh& mesh, MeshBlockPack& pack, int stage,
+                     double dt);
+
 } // namespace vibe

@@ -55,7 +55,11 @@ class Slice3
  * Owning contiguous 4-D array indexed (n, k, j, i).
  *
  * `n` is the variable/component index; (k, j, i) are cell indices
- * including ghosts. Storage is zero-initialized.
+ * including ghosts. Storage is zero-initialized by the sizing
+ * constructor; the storage-adopting constructor initializes at most
+ * once (zeroing is a single `assign` pass over already-reserved
+ * memory, never construct-then-fill), which is what lets a memory
+ * pool recycle buffers without redundant clearing.
  */
 template <typename T>
 class Array4
@@ -69,6 +73,43 @@ class Array4
     {
         require(nn >= 0 && nk >= 0 && nj >= 0 && ni >= 0,
                 "Array4 dimensions must be non-negative");
+    }
+
+    /**
+     * Adopt (possibly recycled) backing storage instead of allocating.
+     *
+     * With `zero_init` the contents are cleared in one pass; without
+     * it, recycled contents are kept as-is — callers use this for
+     * buffers every cell of which is written before it is read
+     * (fluxes, reconstruction scratch, dudt), skipping the clear
+     * entirely on a pool hit. The vector is resized to the exact
+     * element count; a pool-fresh vector arrives with reserved
+     * capacity and zero size, so even the fresh path initializes
+     * each element exactly once.
+     */
+    Array4(int nn, int nk, int nj, int ni, std::vector<T>&& storage,
+           bool zero_init)
+        : nn_(nn), nk_(nk), nj_(nj), ni_(ni), data_(std::move(storage))
+    {
+        require(nn >= 0 && nk >= 0 && nj >= 0 && ni >= 0,
+                "Array4 dimensions must be non-negative");
+        const std::size_t need =
+            static_cast<std::size_t>(nn) * nk * nj * ni;
+        if (zero_init)
+            data_.assign(need, T{});
+        else
+            data_.resize(need);
+    }
+
+    /**
+     * Move the backing storage out (e.g. back into a pool), leaving
+     * the array empty with zero extents. The returned vector keeps its
+     * size/capacity so a later adopter can skip reallocation.
+     */
+    std::vector<T> releaseStorage()
+    {
+        nn_ = nk_ = nj_ = ni_ = 0;
+        return std::move(data_);
     }
 
     T& operator()(int n, int k, int j, int i)

@@ -1,0 +1,316 @@
+/**
+ * @file test_memory_pool.cpp
+ * Block memory pool: Array4 storage adoption without redundant
+ * clearing, steady-state refine/derefine churn running entirely on
+ * recycled buffers, no aliasing between live blocks, and footprint /
+ * state parity with the allocate-and-zero path.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "comm/rank_world.hpp"
+#include "driver/evolution_driver.hpp"
+#include "driver/tagger.hpp"
+#include "exec/kernel_profiler.hpp"
+#include "exec/memory_tracker.hpp"
+#include "mesh/block_memory_pool.hpp"
+#include "mesh/mesh.hpp"
+#include "util/array4.hpp"
+
+namespace vibe {
+namespace {
+
+// --- Array4 storage adoption (the construct-then-fill fix) -----------
+
+TEST(Array4, AdoptedStorageSkipsClearWhenAsked)
+{
+    std::vector<double> recycled(2 * 3 * 4 * 5, 7.5);
+    const double* raw = recycled.data();
+    RealArray4 a(2, 3, 4, 5, std::move(recycled), /*zero_init=*/false);
+    EXPECT_EQ(a.data(), raw); // no reallocation on a size match
+    EXPECT_DOUBLE_EQ(a(1, 2, 3, 4), 7.5); // recycled contents kept
+}
+
+TEST(Array4, AdoptedStorageZeroInitClearsOnce)
+{
+    std::vector<double> recycled(2 * 3 * 4 * 5, 7.5);
+    const double* raw = recycled.data();
+    RealArray4 a(2, 3, 4, 5, std::move(recycled), /*zero_init=*/true);
+    EXPECT_EQ(a.data(), raw);
+    for (int n = 0; n < 2; ++n)
+        EXPECT_DOUBLE_EQ(a(n, 2, 3, 4), 0.0);
+}
+
+TEST(Array4, AdoptGrowsAndReleasesStorage)
+{
+    // A fresh pool vector arrives empty with reserved capacity.
+    std::vector<double> fresh;
+    fresh.reserve(24);
+    RealArray4 a(2, 1, 3, 4, std::move(fresh), /*zero_init=*/false);
+    EXPECT_EQ(a.size(), 24u);
+    EXPECT_DOUBLE_EQ(a(1, 0, 2, 3), 0.0); // resize value-initializes
+    a(1, 0, 2, 3) = 3.25;
+
+    std::vector<double> back = a.releaseStorage();
+    EXPECT_EQ(back.size(), 24u);
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.nvar(), 0);
+    EXPECT_DOUBLE_EQ(back.back(), 3.25);
+}
+
+// --- BlockMemoryPool free-list behavior ------------------------------
+
+TEST(BlockMemoryPool, HitsAndMissesAreCounted)
+{
+    MemoryTracker tracker;
+    BlockMemoryPool pool(&tracker);
+
+    auto first = pool.acquire(100);
+    EXPECT_EQ(pool.freshAllocs(), 1u);
+    EXPECT_EQ(pool.poolHits(), 0u);
+    EXPECT_EQ(first.size(), 0u); // fresh storage: reserved, not sized
+    EXPECT_GE(first.capacity(), 100u);
+
+    first.resize(100, 1.0);
+    pool.release(std::move(first));
+    EXPECT_EQ(pool.idleBuffers(), 1u);
+    EXPECT_EQ(pool.idleBytes(), 100 * sizeof(double));
+
+    auto second = pool.acquire(100);
+    EXPECT_EQ(pool.poolHits(), 1u);
+    EXPECT_EQ(pool.freshAllocs(), 1u);
+    EXPECT_EQ(second.size(), 100u); // recycled storage arrives sized
+    EXPECT_EQ(pool.idleBuffers(), 0u);
+
+    // Different size: separate bucket, fresh allocation.
+    auto other = pool.acquire(64);
+    EXPECT_EQ(pool.freshAllocs(), 2u);
+
+    // Tracker mirror.
+    EXPECT_EQ(tracker.poolHits(), 1u);
+    EXPECT_EQ(tracker.poolMisses(), 2u);
+    EXPECT_EQ(tracker.poolHitBytes(), 100 * sizeof(double));
+    EXPECT_EQ(tracker.poolMissBytes(), (100 + 64) * sizeof(double));
+}
+
+TEST(BlockMemoryPool, EmptyReleaseIgnoredAndTrimDrops)
+{
+    BlockMemoryPool pool;
+    pool.release(std::vector<double>{});
+    EXPECT_EQ(pool.idleBuffers(), 0u);
+
+    pool.release(std::vector<double>(10, 0.0));
+    pool.release(std::vector<double>(20, 0.0));
+    EXPECT_EQ(pool.idleBuffers(), 2u);
+    EXPECT_EQ(pool.peakIdleBytes(), 30 * sizeof(double));
+    pool.trim();
+    EXPECT_EQ(pool.idleBuffers(), 0u);
+    EXPECT_EQ(pool.idleBytes(), 0u);
+    // Peak survives trim (high-water semantics).
+    EXPECT_EQ(pool.peakIdleBytes(), 30 * sizeof(double));
+}
+
+// --- Steady-state refine/derefine churn ------------------------------
+
+struct PoolMeshBits
+{
+    KernelProfiler profiler;
+    MemoryTracker tracker;
+    VariableRegistry registry = makeBurgersRegistry(4);
+};
+
+MeshConfig
+churnConfig(bool use_pool)
+{
+    MeshConfig config;
+    config.nx1 = config.nx2 = config.nx3 = 16;
+    config.blockNx1 = config.blockNx2 = config.blockNx3 = 8;
+    config.amrLevels = 2;
+    config.useMemoryPool = use_pool;
+    return config;
+}
+
+/** One refine + derefine round trip of the corner block. */
+void
+churnOnce(Mesh& mesh)
+{
+    RefinementFlagMap refine;
+    refine[{0, 0, 0, 0}] = RefinementFlag::Refine;
+    mesh.applyTreeUpdate(mesh.updateTree(refine), 0);
+
+    RefinementFlagMap deref;
+    for (int idx = 0; idx < 8; ++idx)
+        deref[LogicalLocation{0, 0, 0, 0}.child(
+            idx & 1, (idx >> 1) & 1, (idx >> 2) & 1)] =
+            RefinementFlag::Derefine;
+    mesh.applyTreeUpdate(mesh.updateTree(deref), 0);
+}
+
+TEST(BlockMemoryPool, SteadyStateChurnIsAllPoolHits)
+{
+    PoolMeshBits bits;
+    ExecContext ctx(ExecMode::Execute, &bits.profiler, &bits.tracker);
+    Mesh mesh(churnConfig(true), bits.registry, ctx);
+    ASSERT_NE(mesh.memoryPool(), nullptr);
+
+    // Warm-up: the first round trips populate the free list (children
+    // are created while the parent still holds its storage, so the
+    // steady-state working set is one refine event's worth of extra
+    // buffers).
+    churnOnce(mesh);
+    churnOnce(mesh);
+
+    const std::uint64_t fresh_after_warmup =
+        mesh.memoryPool()->freshAllocs();
+    const std::uint64_t hits_before = mesh.memoryPool()->poolHits();
+    const std::size_t idle_before = mesh.memoryPool()->idleBytes();
+
+    for (int round = 0; round < 5; ++round)
+        churnOnce(mesh);
+
+    // Zero net allocator growth: every steady-state request is a hit.
+    EXPECT_EQ(mesh.memoryPool()->freshAllocs(), fresh_after_warmup);
+    EXPECT_GT(mesh.memoryPool()->poolHits(), hits_before);
+    // The free list itself reaches steady state too.
+    EXPECT_EQ(mesh.memoryPool()->idleBytes(), idle_before);
+    EXPECT_LE(mesh.memoryPool()->idleBytes(),
+              mesh.memoryPool()->peakIdleBytes());
+}
+
+TEST(BlockMemoryPool, LiveBlocksNeverAliasBuffers)
+{
+    PoolMeshBits bits;
+    ExecContext ctx(ExecMode::Execute, &bits.profiler, &bits.tracker);
+    Mesh mesh(churnConfig(true), bits.registry, ctx);
+    churnOnce(mesh);
+    churnOnce(mesh);
+    // Leave the mesh in a refined state so recycled child buffers are
+    // live simultaneously.
+    RefinementFlagMap refine;
+    refine[{0, 0, 0, 0}] = RefinementFlag::Refine;
+    mesh.applyTreeUpdate(mesh.updateTree(refine), 0);
+
+    std::set<const double*> seen;
+    std::size_t arrays = 0;
+    auto check = [&](const RealArray4& a) {
+        if (a.empty())
+            return;
+        ++arrays;
+        EXPECT_TRUE(seen.insert(a.data()).second)
+            << "two live blocks share one backing store";
+    };
+    for (const auto& block : mesh.blocks()) {
+        check(block->cons());
+        check(block->cons0());
+        check(block->dudt());
+        check(block->derived());
+        for (int d = 0; d < 3; ++d) {
+            check(block->flux(d));
+            if (block->reconL(d))
+                check(*block->reconL(d));
+            if (block->reconR(d))
+                check(*block->reconR(d));
+        }
+    }
+    // Every block contributes cons/cons0/dudt/derived + 3 flux + 6
+    // recon arrays in 3-D.
+    EXPECT_EQ(arrays, mesh.numBlocks() * 13u);
+}
+
+TEST(BlockMemoryPool, FootprintAndAllocationCallsMatchUnpooled)
+{
+    // The tracker records the logical footprint; recycling must not
+    // change it (Fig. 10 terms are pool-independent).
+    PoolMeshBits pooled_bits, plain_bits;
+    ExecContext pooled_ctx(ExecMode::Execute, &pooled_bits.profiler,
+                           &pooled_bits.tracker);
+    ExecContext plain_ctx(ExecMode::Execute, &plain_bits.profiler,
+                          &plain_bits.tracker);
+    Mesh pooled(churnConfig(true), pooled_bits.registry, pooled_ctx);
+    Mesh plain(churnConfig(false), plain_bits.registry, plain_ctx);
+    EXPECT_EQ(plain.memoryPool(), nullptr);
+
+    churnOnce(pooled);
+    churnOnce(plain);
+
+    EXPECT_EQ(pooled_bits.tracker.currentBytes(),
+              plain_bits.tracker.currentBytes());
+    EXPECT_EQ(pooled_bits.tracker.allocationCalls(),
+              plain_bits.tracker.allocationCalls());
+    EXPECT_EQ(pooled_bits.tracker.labelBytes("mesh/cons"),
+              plain_bits.tracker.labelBytes("mesh/cons"));
+}
+
+TEST(BlockMemoryPool, CountingModeAllocatesNoPool)
+{
+    PoolMeshBits bits;
+    ExecContext ctx(ExecMode::Count, &bits.profiler, &bits.tracker);
+    Mesh mesh(churnConfig(true), bits.registry, ctx);
+    // Virtual blocks materialize no arrays, so no pool either — but the
+    // accounted footprint is identical to numeric mode.
+    EXPECT_EQ(mesh.memoryPool(), nullptr);
+    EXPECT_GT(bits.tracker.currentBytes(), 0u);
+}
+
+// --- Numerical invisibility -------------------------------------------
+
+RealArray4
+runRippleCons(bool use_pool)
+{
+    KernelProfiler profiler;
+    MemoryTracker tracker;
+    ExecContext ctx(ExecMode::Execute, &profiler, &tracker);
+    auto registry = makeBurgersRegistry(4);
+
+    MeshConfig mesh_config;
+    mesh_config.nx1 = mesh_config.nx2 = mesh_config.nx3 = 16;
+    mesh_config.blockNx1 = mesh_config.blockNx2 = mesh_config.blockNx3 =
+        8;
+    mesh_config.amrLevels = 2;
+    mesh_config.useMemoryPool = use_pool;
+    Mesh mesh(mesh_config, registry, ctx);
+    RankWorld world(2);
+
+    BurgersConfig burgers_config;
+    burgers_config.numScalars = 4;
+    burgers_config.refineTol = 0.05;
+    burgers_config.derefineTol = 0.015;
+    BurgersPackage package(burgers_config);
+    GradientTagger tagger(package);
+
+    DriverConfig driver_config;
+    driver_config.ncycles = 3;
+    driver_config.ic = InitialCondition::Ripple;
+    EvolutionDriver driver(mesh, package, world, tagger, driver_config);
+    driver.initialize();
+    driver.run();
+
+    // Concatenate all blocks' conserved state for comparison.
+    const BlockShape s = mesh.config().blockShape();
+    RealArray4 all(static_cast<int>(mesh.numBlocks()),
+                   registry.ncompConserved(), 1,
+                   static_cast<int>(s.totalCells()));
+    for (std::size_t b = 0; b < mesh.numBlocks(); ++b) {
+        const RealArray4& cons =
+            mesh.block(static_cast<int>(b)).cons();
+        std::memcpy(all.data() + b * cons.size(), cons.data(),
+                    cons.sizeBytes());
+    }
+    return all;
+}
+
+TEST(BlockMemoryPool, PooledRunIsBitwiseIdenticalToUnpooled)
+{
+    const RealArray4 pooled = runRippleCons(true);
+    const RealArray4 plain = runRippleCons(false);
+    ASSERT_EQ(pooled.size(), plain.size());
+    EXPECT_EQ(std::memcmp(pooled.data(), plain.data(),
+                          pooled.sizeBytes()),
+              0);
+}
+
+} // namespace
+} // namespace vibe
