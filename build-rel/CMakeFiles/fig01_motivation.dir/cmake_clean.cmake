@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_motivation.dir/bench/fig01_motivation.cpp.o"
+  "CMakeFiles/fig01_motivation.dir/bench/fig01_motivation.cpp.o.d"
+  "bench/fig01_motivation"
+  "bench/fig01_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

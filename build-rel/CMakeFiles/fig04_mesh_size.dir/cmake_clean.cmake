@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mesh_size.dir/bench/fig04_mesh_size.cpp.o"
+  "CMakeFiles/fig04_mesh_size.dir/bench/fig04_mesh_size.cpp.o.d"
+  "bench/fig04_mesh_size"
+  "bench/fig04_mesh_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mesh_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_block_size.dir/bench/fig05_block_size.cpp.o"
+  "CMakeFiles/fig05_block_size.dir/bench/fig05_block_size.cpp.o.d"
+  "bench/fig05_block_size"
+  "bench/fig05_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_pack_launch.dir/bench/fig05b_pack_launch.cpp.o"
+  "CMakeFiles/fig05b_pack_launch.dir/bench/fig05b_pack_launch.cpp.o.d"
+  "bench/fig05b_pack_launch"
+  "bench/fig05b_pack_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_pack_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05b_pack_launch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_amr_levels.dir/bench/fig06_amr_levels.cpp.o"
+  "CMakeFiles/fig06_amr_levels.dir/bench/fig06_amr_levels.cpp.o.d"
+  "bench/fig06_amr_levels"
+  "bench/fig06_amr_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_amr_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

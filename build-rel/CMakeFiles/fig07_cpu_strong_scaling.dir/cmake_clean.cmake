@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_strong_scaling.dir/bench/fig07_cpu_strong_scaling.cpp.o"
+  "CMakeFiles/fig07_cpu_strong_scaling.dir/bench/fig07_cpu_strong_scaling.cpp.o.d"
+  "bench/fig07_cpu_strong_scaling"
+  "bench/fig07_cpu_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

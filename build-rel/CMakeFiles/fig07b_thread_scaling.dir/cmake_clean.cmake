@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_thread_scaling.dir/bench/fig07b_thread_scaling.cpp.o"
+  "CMakeFiles/fig07b_thread_scaling.dir/bench/fig07b_thread_scaling.cpp.o.d"
+  "bench/fig07b_thread_scaling"
+  "bench/fig07b_thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07b_thread_scaling.
+# This may be replaced when dependencies are built.

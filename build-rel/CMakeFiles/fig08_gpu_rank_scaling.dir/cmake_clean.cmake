@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gpu_rank_scaling.dir/bench/fig08_gpu_rank_scaling.cpp.o"
+  "CMakeFiles/fig08_gpu_rank_scaling.dir/bench/fig08_gpu_rank_scaling.cpp.o.d"
+  "bench/fig08_gpu_rank_scaling"
+  "bench/fig08_gpu_rank_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gpu_rank_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_gpu_rank_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_serial_kernel_breakdown.dir/bench/fig09_serial_kernel_breakdown.cpp.o"
+  "CMakeFiles/fig09_serial_kernel_breakdown.dir/bench/fig09_serial_kernel_breakdown.cpp.o.d"
+  "bench/fig09_serial_kernel_breakdown"
+  "bench/fig09_serial_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_serial_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

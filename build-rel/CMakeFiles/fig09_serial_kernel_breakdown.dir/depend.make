@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_serial_kernel_breakdown.
+# This may be replaced when dependencies are built.

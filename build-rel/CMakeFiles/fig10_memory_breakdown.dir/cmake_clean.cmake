@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_breakdown.dir/bench/fig10_memory_breakdown.cpp.o"
+  "CMakeFiles/fig10_memory_breakdown.dir/bench/fig10_memory_breakdown.cpp.o.d"
+  "bench/fig10_memory_breakdown"
+  "bench/fig10_memory_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_function_breakdown.dir/bench/fig11_function_breakdown.cpp.o"
+  "CMakeFiles/fig11_function_breakdown.dir/bench/fig11_function_breakdown.cpp.o.d"
+  "bench/fig11_function_breakdown"
+  "bench/fig11_function_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_function_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_function_serial_kernel.dir/bench/fig12_function_serial_kernel.cpp.o"
+  "CMakeFiles/fig12_function_serial_kernel.dir/bench/fig12_function_serial_kernel.cpp.o.d"
+  "bench/fig12_function_serial_kernel"
+  "bench/fig12_function_serial_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_function_serial_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

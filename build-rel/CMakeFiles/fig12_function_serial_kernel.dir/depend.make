@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_function_serial_kernel.
+# This may be replaced when dependencies are built.

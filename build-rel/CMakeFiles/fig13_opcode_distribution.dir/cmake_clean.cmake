@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_opcode_distribution.dir/bench/fig13_opcode_distribution.cpp.o"
+  "CMakeFiles/fig13_opcode_distribution.dir/bench/fig13_opcode_distribution.cpp.o.d"
+  "bench/fig13_opcode_distribution"
+  "bench/fig13_opcode_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_opcode_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

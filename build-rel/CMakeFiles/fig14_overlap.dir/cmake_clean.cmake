@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overlap.dir/bench/fig14_overlap.cpp.o"
+  "CMakeFiles/fig14_overlap.dir/bench/fig14_overlap.cpp.o.d"
+  "bench/fig14_overlap"
+  "bench/fig14_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple.dir/examples/ripple.cpp.o"
+  "CMakeFiles/ripple.dir/examples/ripple.cpp.o.d"
+  "examples/ripple"
+  "examples/ripple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

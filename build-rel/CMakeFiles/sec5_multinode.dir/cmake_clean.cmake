@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_multinode.dir/bench/sec5_multinode.cpp.o"
+  "CMakeFiles/sec5_multinode.dir/bench/sec5_multinode.cpp.o.d"
+  "bench/sec5_multinode"
+  "bench/sec5_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8b_memory_opt.dir/bench/sec8b_memory_opt.cpp.o"
+  "CMakeFiles/sec8b_memory_opt.dir/bench/sec8b_memory_opt.cpp.o.d"
+  "bench/sec8b_memory_opt"
+  "bench/sec8b_memory_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8b_memory_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec8b_memory_opt.
+# This may be replaced when dependencies are built.

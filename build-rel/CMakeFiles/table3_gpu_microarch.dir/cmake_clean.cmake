@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gpu_microarch.dir/bench/table3_gpu_microarch.cpp.o"
+  "CMakeFiles/table3_gpu_microarch.dir/bench/table3_gpu_microarch.cpp.o.d"
+  "bench/table3_gpu_microarch"
+  "bench/table3_gpu_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gpu_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

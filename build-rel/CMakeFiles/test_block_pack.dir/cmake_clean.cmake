@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_pack.dir/tests/test_block_pack.cpp.o"
+  "CMakeFiles/test_block_pack.dir/tests/test_block_pack.cpp.o.d"
+  "tests/test_block_pack"
+  "tests/test_block_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

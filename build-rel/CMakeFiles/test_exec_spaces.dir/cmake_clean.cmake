@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_spaces.dir/tests/test_exec_spaces.cpp.o"
+  "CMakeFiles/test_exec_spaces.dir/tests/test_exec_spaces.cpp.o.d"
+  "tests/test_exec_spaces"
+  "tests/test_exec_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment.dir/tests/test_experiment.cpp.o"
+  "CMakeFiles/test_experiment.dir/tests/test_experiment.cpp.o.d"
+  "tests/test_experiment"
+  "tests/test_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_pool.dir/tests/test_memory_pool.cpp.o"
+  "CMakeFiles/test_memory_pool.dir/tests/test_memory_pool.cpp.o.d"
+  "tests/test_memory_pool"
+  "tests/test_memory_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/tests/test_mesh.cpp.o"
+  "CMakeFiles/test_mesh.dir/tests/test_mesh.cpp.o.d"
+  "tests/test_mesh"
+  "tests/test_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_viz.dir/examples/tree_viz.cpp.o"
+  "CMakeFiles/tree_viz.dir/examples/tree_viz.cpp.o.d"
+  "examples/tree_viz"
+  "examples/tree_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/boundary_buffers.cpp" "CMakeFiles/vibe_core.dir/src/comm/boundary_buffers.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/comm/boundary_buffers.cpp.o.d"
+  "/root/repo/src/comm/ghost_exchange.cpp" "CMakeFiles/vibe_core.dir/src/comm/ghost_exchange.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/comm/ghost_exchange.cpp.o.d"
+  "/root/repo/src/comm/rank_world.cpp" "CMakeFiles/vibe_core.dir/src/comm/rank_world.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/comm/rank_world.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "CMakeFiles/vibe_core.dir/src/core/experiment.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/core/experiment.cpp.o.d"
+  "/root/repo/src/driver/evolution_driver.cpp" "CMakeFiles/vibe_core.dir/src/driver/evolution_driver.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/driver/evolution_driver.cpp.o.d"
+  "/root/repo/src/driver/load_balance.cpp" "CMakeFiles/vibe_core.dir/src/driver/load_balance.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/driver/load_balance.cpp.o.d"
+  "/root/repo/src/driver/tagger.cpp" "CMakeFiles/vibe_core.dir/src/driver/tagger.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/driver/tagger.cpp.o.d"
+  "/root/repo/src/driver/task_list.cpp" "CMakeFiles/vibe_core.dir/src/driver/task_list.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/driver/task_list.cpp.o.d"
+  "/root/repo/src/exec/execution_space.cpp" "CMakeFiles/vibe_core.dir/src/exec/execution_space.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/exec/execution_space.cpp.o.d"
+  "/root/repo/src/exec/kernel_profiler.cpp" "CMakeFiles/vibe_core.dir/src/exec/kernel_profiler.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/exec/kernel_profiler.cpp.o.d"
+  "/root/repo/src/exec/memory_tracker.cpp" "CMakeFiles/vibe_core.dir/src/exec/memory_tracker.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/exec/memory_tracker.cpp.o.d"
+  "/root/repo/src/mesh/block_memory_pool.cpp" "CMakeFiles/vibe_core.dir/src/mesh/block_memory_pool.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/block_memory_pool.cpp.o.d"
+  "/root/repo/src/mesh/block_pack.cpp" "CMakeFiles/vibe_core.dir/src/mesh/block_pack.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/block_pack.cpp.o.d"
+  "/root/repo/src/mesh/block_tree.cpp" "CMakeFiles/vibe_core.dir/src/mesh/block_tree.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/block_tree.cpp.o.d"
+  "/root/repo/src/mesh/logical_location.cpp" "CMakeFiles/vibe_core.dir/src/mesh/logical_location.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/logical_location.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "CMakeFiles/vibe_core.dir/src/mesh/mesh.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/mesh_block.cpp" "CMakeFiles/vibe_core.dir/src/mesh/mesh_block.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/mesh_block.cpp.o.d"
+  "/root/repo/src/mesh/prolong_restrict.cpp" "CMakeFiles/vibe_core.dir/src/mesh/prolong_restrict.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/prolong_restrict.cpp.o.d"
+  "/root/repo/src/mesh/variable.cpp" "CMakeFiles/vibe_core.dir/src/mesh/variable.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/mesh/variable.cpp.o.d"
+  "/root/repo/src/perfmodel/execution_model.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/execution_model.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/execution_model.cpp.o.d"
+  "/root/repo/src/perfmodel/kernel_model.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/kernel_model.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/kernel_model.cpp.o.d"
+  "/root/repo/src/perfmodel/memory_model.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/memory_model.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/memory_model.cpp.o.d"
+  "/root/repo/src/perfmodel/occupancy.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/occupancy.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/occupancy.cpp.o.d"
+  "/root/repo/src/perfmodel/opcode_model.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/opcode_model.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/opcode_model.cpp.o.d"
+  "/root/repo/src/perfmodel/platform.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/platform.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/platform.cpp.o.d"
+  "/root/repo/src/perfmodel/serial_model.cpp" "CMakeFiles/vibe_core.dir/src/perfmodel/serial_model.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/perfmodel/serial_model.cpp.o.d"
+  "/root/repo/src/solver/burgers.cpp" "CMakeFiles/vibe_core.dir/src/solver/burgers.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/solver/burgers.cpp.o.d"
+  "/root/repo/src/solver/reconstruct.cpp" "CMakeFiles/vibe_core.dir/src/solver/reconstruct.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/solver/reconstruct.cpp.o.d"
+  "/root/repo/src/solver/rk2.cpp" "CMakeFiles/vibe_core.dir/src/solver/rk2.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/solver/rk2.cpp.o.d"
+  "/root/repo/src/util/parameter_input.cpp" "CMakeFiles/vibe_core.dir/src/util/parameter_input.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/util/parameter_input.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/vibe_core.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/vibe_core.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/vibe_core.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-rel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_block_pack "/root/repo/build-rel/tests/test_block_pack")
+set_tests_properties(test_block_pack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build-rel/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_driver "/root/repo/build-rel/tests/test_driver")
+set_tests_properties(test_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_exec "/root/repo/build-rel/tests/test_exec")
+set_tests_properties(test_exec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_exec_spaces "/root/repo/build-rel/tests/test_exec_spaces")
+set_tests_properties(test_exec_spaces PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_experiment "/root/repo/build-rel/tests/test_experiment")
+set_tests_properties(test_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build-rel/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_memory_pool "/root/repo/build-rel/tests/test_memory_pool")
+set_tests_properties(test_memory_pool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_mesh "/root/repo/build-rel/tests/test_mesh")
+set_tests_properties(test_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_perfmodel "/root/repo/build-rel/tests/test_perfmodel")
+set_tests_properties(test_perfmodel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build-rel/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_solver "/root/repo/build-rel/tests/test_solver")
+set_tests_properties(test_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tree "/root/repo/build-rel/tests/test_tree")
+set_tests_properties(test_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build-rel/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;50;add_test;/root/repo/CMakeLists.txt;0;")
