@@ -7,14 +7,131 @@
  */
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
 namespace vibe::bench {
+
+/**
+ * Extract a `--json <path>` argument pair from argv, removing both
+ * entries so benches keep their positional-argument parsing. Returns
+ * the path, or "" when the flag is absent. When present, pass the
+ * path to JsonReport::write after measuring.
+ */
+inline std::string
+extractJsonPath(int& argc, char** argv)
+{
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--json") != 0)
+            continue;
+        if (a + 1 >= argc) {
+            std::cerr << "--json requires a path argument\n";
+            std::exit(2);
+        }
+        const std::string path = argv[a + 1];
+        for (int rest = a + 2; rest < argc; ++rest)
+            argv[rest - 2] = argv[rest];
+        argc -= 2;
+        return path;
+    }
+    return "";
+}
+
+/**
+ * Machine-readable result sink for BENCH_*.json trajectory tracking:
+ * one entry per measured configuration, serialized as
+ *
+ *   {"bench": "<name>",
+ *    "results": [{"name": "...",
+ *                 "config": {"block": "8", "threads": "4"},
+ *                 "median_seconds": 1.23e-03}, ...]}
+ *
+ * Config keys/values are strings on purpose — they label the point,
+ * they are not re-parsed by the tracker.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Record one measured configuration (median wall seconds). */
+    void add(const std::string& name,
+             std::vector<std::pair<std::string, std::string>> config,
+             double median_seconds)
+    {
+        entries_.push_back(
+            {name, std::move(config), median_seconds});
+    }
+
+    /** Serialize all entries. */
+    std::string str() const
+    {
+        std::ostringstream out;
+        out << "{\"bench\": \"" << escape(bench_)
+            << "\", \"results\": [";
+        for (std::size_t e = 0; e < entries_.size(); ++e) {
+            const Entry& entry = entries_[e];
+            out << (e > 0 ? ", " : "") << "{\"name\": \""
+                << escape(entry.name) << "\", \"config\": {";
+            for (std::size_t c = 0; c < entry.config.size(); ++c)
+                out << (c > 0 ? ", " : "") << "\""
+                    << escape(entry.config[c].first) << "\": \""
+                    << escape(entry.config[c].second) << "\"";
+            out << "}, \"median_seconds\": ";
+            out.precision(9);
+            out << entry.medianSeconds << "}";
+        }
+        out << "]}\n";
+        return out.str();
+    }
+
+    /** Write to `path` unless it is empty (flag absent). */
+    void write(const std::string& path) const
+    {
+        if (path.empty())
+            return;
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "cannot write JSON results to '" << path
+                      << "'\n";
+            std::exit(2);
+        }
+        out << str();
+        std::cout << "\nwrote " << entries_.size()
+                  << " result(s) to " << path << "\n";
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> config;
+        double medianSeconds = 0;
+    };
+
+    static std::string escape(const std::string& s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<Entry> entries_;
+};
 
 /** Workload shorthand: (mesh, block, levels) with a cycle budget. */
 inline ExperimentSpec

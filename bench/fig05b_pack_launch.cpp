@@ -21,8 +21,10 @@
  * block = one launch either way) — the pack is precisely a
  * small-block-regime fix.
  *
- * Usage: fig05b_pack_launch [max_block] [reps_scale]
- *        (defaults 64, 1; `fig05b_pack_launch 16` is the CI smoke run)
+ * Usage: fig05b_pack_launch [max_block] [reps_scale] [--json <path>]
+ *        (defaults 64, 1; `fig05b_pack_launch 16` is the CI smoke
+ *        run; --json emits machine-readable results for BENCH_*.json
+ *        trajectory tracking)
  */
 #include <chrono>
 #include <cstdlib>
@@ -34,7 +36,7 @@
 #include "driver/tagger.hpp"
 #include "exec/execution_space.hpp"
 #include "mesh/block_pack.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/burgers_package.hpp"
 #include "solver/rk2.hpp"
 
 namespace {
@@ -144,6 +146,9 @@ main(int argc, char** argv)
     using namespace vibe;
     using namespace vibe::bench;
 
+    const std::string json_path = extractJsonPath(argc, argv);
+    JsonReport report("fig05b_pack_launch");
+
     const int max_block = argc > 1 ? std::atoi(argv[1]) : 64;
     const int reps_scale = argc > 2 ? std::atoi(argv[2]) : 1;
 
@@ -181,6 +186,15 @@ main(int argc, char** argv)
                           formatFixed(t.perBlockMs, 3),
                           formatFixed(t.packedMs, 3),
                           formatRatio(speedup)});
+            const std::vector<std::pair<std::string, std::string>>
+                config = {{"block", std::to_string(point.block)},
+                          {"threads", std::to_string(threads)},
+                          {"nblocks", std::to_string(t.nblocks)}};
+            const std::string tag = "b" + std::to_string(point.block) +
+                                    "_t" + std::to_string(threads);
+            report.add(tag + "_per_block", config,
+                       t.perBlockMs / 1e3);
+            report.add(tag + "_packed", config, t.packedMs / 1e3);
         }
     }
     table.addNote("same arithmetic, bitwise-identical output; the "
@@ -196,5 +210,6 @@ main(int argc, char** argv)
         std::cout << "\nWARNING: packed speedup at 8^3/4T below the "
                      "1.3x acceptance bar ("
                   << formatRatio(b8_t4_speedup) << ")\n";
+    report.write(json_path);
     return 0;
 }

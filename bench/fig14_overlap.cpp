@@ -30,6 +30,7 @@
 
 #include "bench_util.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 
 namespace {
@@ -71,7 +72,6 @@ runOverlap(int mesh_nx, int cycles, int threads)
 
     DriverConfig driver_config;
     driver_config.ncycles = cycles;
-    driver_config.ic = InitialCondition::Ripple;
     EvolutionDriver driver(mesh, package, world, tagger, driver_config);
 
     const auto start = std::chrono::steady_clock::now();

@@ -12,7 +12,7 @@
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
 #include "mesh/mesh.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/burgers_package.hpp"
 #include "solver/reconstruct.hpp"
 #include "solver/riemann.hpp"
 #include "solver/rk2.hpp"

@@ -14,6 +14,7 @@
 
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
@@ -49,7 +50,6 @@ main()
     DriverConfig driver_config;
     driver_config.ncycles = 20;
     driver_config.derefineGap = 5;
-    driver_config.ic = InitialCondition::Ripple;
     EvolutionDriver driver(mesh, package, world, tagger, driver_config);
 
     driver.initialize();

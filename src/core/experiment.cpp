@@ -6,7 +6,7 @@
 #include "comm/rank_world.hpp"
 #include "driver/tagger.hpp"
 #include "mesh/variable.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/package_registry.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -42,7 +42,15 @@ Experiment::run() const
     ExperimentResult result;
     result.spec = spec;
 
-    VariableRegistry registry = makeBurgersRegistry(spec.numScalars);
+    // The package is selected by name through the registry, exactly as
+    // a deck's `<job> package` knob would; spec fields that belong to
+    // the package travel as deck parameters.
+    ParameterInput package_params;
+    package_params.set("burgers", "num_scalars",
+                       std::to_string(spec.numScalars));
+    std::unique_ptr<PackageDescriptor> package =
+        PackageRegistry::instance().create(spec.package, package_params);
+    VariableRegistry registry = package->buildRegistry();
 
     MeshConfig mesh_config;
     mesh_config.ndim = spec.ndim;
@@ -68,17 +76,12 @@ Experiment::run() const
 
     RankWorld world(spec.platform.ranks);
 
-    BurgersConfig burgers_config;
-    burgers_config.numScalars = spec.numScalars;
-    BurgersPackage package(burgers_config);
-
     DriverConfig driver_config;
     driver_config.ncycles = spec.ncycles;
     driver_config.fixedDt = spec.fixedDt();
-    driver_config.ic = InitialCondition::Ripple;
     driver_config.randomizeBufferKeys = spec.randomizeBufferKeys;
 
-    GradientTagger gradient_tagger(package);
+    GradientTagger gradient_tagger(*package);
     // Counting-mode feature: a compact pulsating blob (the Gaussian
     // pulse of the VIBE initial condition). Solid mode keeps the
     // refined-block count roughly independent of MeshBlockSize, the
@@ -98,7 +101,7 @@ Experiment::run() const
         spec.numeric ? static_cast<RefinementTagger&>(gradient_tagger)
                      : static_cast<RefinementTagger&>(wave_tagger);
 
-    EvolutionDriver driver(mesh, package, world, tagger, driver_config);
+    EvolutionDriver driver(mesh, *package, world, tagger, driver_config);
     driver.initialize();
     driver.run();
 

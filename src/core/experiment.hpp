@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "driver/evolution_driver.hpp"
@@ -31,6 +32,12 @@ struct ExperimentSpec
     int numScalars = 8;
     int numGhost = 4;
     int ncycles = 10;     ///< Evolution cycles to simulate.
+    /**
+     * Physics package (PackageRegistry name, the `<job> package`
+     * knob): "burgers" (the VIBE workload) or "advection". The
+     * harness itself is package-agnostic.
+     */
+    std::string package = "burgers";
     /**
      * Numeric mode runs the real WENO5/HLL/RK2 solver (small configs,
      * examples, tests); counting mode evolves the identical mesh

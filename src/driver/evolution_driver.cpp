@@ -20,15 +20,13 @@ DriverConfig::fromParams(const ParameterInput& pin)
     config.derefineGap = pin.getInt("amr", "derefine_gap", 10);
     config.refineEvery = pin.getInt("amr", "refine_every", 1);
     config.lbEvery = pin.getInt("amr", "lb_every", 1);
-    config.ic = initialConditionFromName(
-        pin.getString("burgers", "ic", "ripple"));
     config.randomizeBufferKeys =
         pin.getBool("comm", "randomize_buffer_keys", true);
     return config;
 }
 
 EvolutionDriver::EvolutionDriver(Mesh& mesh,
-                                 const BurgersPackage& package,
+                                 const PackageDescriptor& package,
                                  RankWorld& world,
                                  RefinementTagger& tagger,
                                  const DriverConfig& config)
@@ -50,7 +48,7 @@ EvolutionDriver::initialize()
     PhaseScope scope(ctx.profiler(), "Initialise");
 
     if (ctx.executing())
-        package_->initialize(*mesh_, config_.ic);
+        package_->initialize(*mesh_);
 
     // Initial refinement: iterate up to the level budget so the mesh
     // conforms to the tagging criterion before evolution starts.
@@ -70,10 +68,9 @@ EvolutionDriver::initialize()
             // conditions rather than prolongated data.
             for (auto& refined : restructure.refined)
                 for (MeshBlock* child : refined.children)
-                    package_->initializeBlock(ctx, *child, config_.ic);
+                    package_->initializeBlock(ctx, *child);
             for (auto& derefined : restructure.derefined)
-                package_->initializeBlock(ctx, *derefined.parent,
-                                          config_.ic);
+                package_->initializeBlock(ctx, *derefined.parent);
         }
         cache_.rebuild();
     }

@@ -25,7 +25,7 @@
 #include "driver/task_list.hpp"
 #include "mesh/block_pack.hpp"
 #include "mesh/mesh.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/package_descriptor.hpp"
 #include "solver/rk2.hpp"
 #include "util/parameter_input.hpp"
 
@@ -44,7 +44,6 @@ struct DriverConfig
     int refineEvery = 1;
     /** Load balance every N cycles (paper: 1). */
     int lbEvery = 1;
-    InitialCondition ic = InitialCondition::Ripple;
     /** Shuffle boundary keys in the buffer cache (§VIII-A). */
     bool randomizeBufferKeys = true;
 
@@ -73,9 +72,10 @@ class EvolutionDriver
   public:
     /**
      * All dependencies outlive the driver. The driver owns the
-     * boundary-buffer cache and ghost-exchange engine.
+     * boundary-buffer cache and ghost-exchange engine. The package is
+     * any PackageDescriptor — the driver never names a concrete PDE.
      */
-    EvolutionDriver(Mesh& mesh, const BurgersPackage& package,
+    EvolutionDriver(Mesh& mesh, const PackageDescriptor& package,
                     RankWorld& world, RefinementTagger& tagger,
                     const DriverConfig& config);
 
@@ -159,7 +159,7 @@ class EvolutionDriver
     RefinementFlagMap collectFlags();
 
     Mesh* mesh_;
-    const BurgersPackage* package_;
+    const PackageDescriptor* package_;
     RankWorld* world_;
     RefinementTagger* tagger_;
     DriverConfig config_;

@@ -3,8 +3,9 @@
  * Refinement tagging policies (Refinement::Tag in the paper's Fig. 3).
  *
  * Two implementations:
- * - GradientTagger: the real VIBE criterion — per-block first-derivative
- *   indicator over the velocity field (numeric mode).
+ * - GradientTagger: defers to the physics package's tagBlock callback
+ *   (for VIBE, the per-block first-derivative indicator over the
+ *   velocity field; numeric mode).
  * - SphericalWaveTagger: an analytic expanding-ripple feature (the
  *   stone-in-water analogy of §II-C) that drives identical mesh
  *   *structure* evolution without touching cell data, so the large
@@ -16,7 +17,7 @@
 #include <cstdint>
 
 #include "mesh/mesh.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/package_descriptor.hpp"
 
 namespace vibe {
 
@@ -30,11 +31,11 @@ class RefinementTagger
     virtual void tagAll(Mesh& mesh, double time, std::int64_t cycle) = 0;
 };
 
-/** Gradient-based tagging via BurgersPackage::tagBlock. */
+/** Gradient-based tagging via the package's tagBlock callback. */
 class GradientTagger : public RefinementTagger
 {
   public:
-    explicit GradientTagger(const BurgersPackage& package)
+    explicit GradientTagger(const PackageDescriptor& package)
         : package_(&package)
     {
     }
@@ -42,7 +43,7 @@ class GradientTagger : public RefinementTagger
     void tagAll(Mesh& mesh, double time, std::int64_t cycle) override;
 
   private:
-    const BurgersPackage* package_;
+    const PackageDescriptor* package_;
 };
 
 /**

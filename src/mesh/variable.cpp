@@ -86,17 +86,4 @@ VariableRegistry::offsetOf(const std::string& name) const
     fatal("unknown variable '", name, "'");
 }
 
-VariableRegistry
-makeBurgersRegistry(int num_scalars)
-{
-    require(num_scalars >= 1,
-            "Burgers benchmark requires at least one passive scalar");
-    VariableRegistry registry;
-    registry.add({"u", 3, kIndependent | kFillGhost | kWithFluxes});
-    registry.add({"q", num_scalars, kIndependent | kFillGhost |
-                                        kWithFluxes});
-    registry.add({"d", 1, kDerived});
-    return registry;
-}
-
 } // namespace vibe

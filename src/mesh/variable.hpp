@@ -101,11 +101,4 @@ class VariableRegistry
     mutable std::uint64_t lookup_calls_ = 0;
 };
 
-/**
- * Construct the Parthenon-VIBE registry (§II-G): the velocity vector
- * `u` (3 components), `num_scalars` passive scalars `q`, and the derived
- * kinetic-energy-like quantity `d` = 0.5 q0 u.u.
- */
-VariableRegistry makeBurgersRegistry(int num_scalars);
-
 } // namespace vibe

@@ -1,0 +1,30 @@
+#include "pkg/package_descriptor.hpp"
+
+namespace vibe {
+
+// Whole-mesh sweeps default to the per-block loop in gid order — the
+// exact sequence the pre-package driver ran, so packages only override
+// these when they fuse differently.
+
+void
+PackageDescriptor::initialize(Mesh& mesh) const
+{
+    for (const auto& block : mesh.blocks())
+        initializeBlock(mesh.ctx(), *block);
+}
+
+void
+PackageDescriptor::calculateFluxes(Mesh& mesh) const
+{
+    for (const auto& block : mesh.blocks())
+        calculateFluxesBlock(mesh, *block);
+}
+
+void
+PackageDescriptor::fluxDivergence(Mesh& mesh) const
+{
+    for (const auto& block : mesh.blocks())
+        fluxDivergenceBlock(mesh, *block);
+}
+
+} // namespace vibe

@@ -1,0 +1,74 @@
+#include "pkg/package_registry.hpp"
+
+#include <sstream>
+
+#include "pkg/advection_package.hpp"
+#include "pkg/burgers_package.hpp"
+#include "util/logging.hpp"
+
+namespace vibe {
+
+PackageRegistry&
+PackageRegistry::instance()
+{
+    // Built-ins are registered here rather than via self-registering
+    // translation units: vibe_core is a static library, and a TU whose
+    // only purpose is a registration side effect would be dropped by
+    // the linker.
+    static PackageRegistry registry = [] {
+        PackageRegistry r;
+        r.registerPackage("burgers", [](const ParameterInput& pin) {
+            return std::make_unique<BurgersPackage>(
+                BurgersConfig::fromParams(pin));
+        });
+        r.registerPackage("advection", [](const ParameterInput& pin) {
+            return std::make_unique<AdvectionPackage>(
+                AdvectionConfig::fromParams(pin));
+        });
+        return r;
+    }();
+    return registry;
+}
+
+void
+PackageRegistry::registerPackage(const std::string& name, Factory factory)
+{
+    require(static_cast<bool>(factory), "package '", name,
+            "' registered with an empty factory");
+    if (!factories_.emplace(name, std::move(factory)).second)
+        fatal("package '", name, "' is already registered");
+}
+
+std::unique_ptr<PackageDescriptor>
+PackageRegistry::create(const std::string& name,
+                        const ParameterInput& pin) const
+{
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        std::ostringstream known;
+        for (const auto& [registered, factory] : factories_)
+            known << (known.tellp() > 0 ? ", " : "") << registered;
+        fatal("unknown package '", name, "' (registered packages: ",
+              known.str(), ")");
+    }
+    return it->second(pin);
+}
+
+std::vector<std::string>
+PackageRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<PackageDescriptor>
+PackageRegistry::fromDeck(const ParameterInput& pin)
+{
+    return instance().create(pin.getString("job", "package", "burgers"),
+                             pin);
+}
+
+} // namespace vibe

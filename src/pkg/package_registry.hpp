@@ -1,0 +1,61 @@
+/**
+ * @file package_registry.hpp
+ * Name -> physics-package factory map, selected from the input deck.
+ *
+ * The deck knob is
+ *
+ *   <job>
+ *   package = burgers      # or advection
+ *
+ * mirroring Parthenon's application selection. Built-in packages
+ * (burgers, advection) are registered on first use; applications and
+ * tests may register additional factories. The factory receives the
+ * full ParameterInput so each package parses its own `<name>` block.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pkg/package_descriptor.hpp"
+#include "util/parameter_input.hpp"
+
+namespace vibe {
+
+class PackageRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<PackageDescriptor>(
+        const ParameterInput&)>;
+
+    /** The process-wide registry, with built-ins pre-registered. */
+    static PackageRegistry& instance();
+
+    /** Register a package factory. Fatal on duplicate names. */
+    void registerPackage(const std::string& name, Factory factory);
+
+    /**
+     * Instantiate package `name` from the deck. Fatal on an unknown
+     * name, listing the registered packages in the message.
+     */
+    std::unique_ptr<PackageDescriptor>
+    create(const std::string& name, const ParameterInput& pin) const;
+
+    /** Registered package names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Shorthand: instantiate the package `<job> package` selects
+     *  (default "burgers"). */
+    static std::unique_ptr<PackageDescriptor>
+    fromDeck(const ParameterInput& pin);
+
+  private:
+    PackageRegistry() = default;
+
+    std::map<std::string, Factory> factories_;
+};
+
+} // namespace vibe

@@ -2,7 +2,19 @@
 
 #include <cmath>
 
+#include "util/logging.hpp"
+
 namespace vibe {
+
+ReconMethod
+reconMethodFromName(const std::string& name)
+{
+    if (name == "weno5")
+        return ReconMethod::Weno5;
+    if (name == "plm")
+        return ReconMethod::Plm;
+    fatal("unknown reconstruction '", name, "'");
+}
 
 double
 weno5Face(double m2, double m1, double c, double p1, double p2)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/logging.hpp"
@@ -18,6 +19,38 @@ trim(const std::string& s)
     auto b = std::find_if_not(s.begin(), s.end(), is_space);
     auto e = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
     return b < e ? std::string(b, e) : std::string();
+}
+
+/**
+ * Knobs each recognized deck block accepts. A typo inside one of
+ * these blocks (`<exec> pack_interor = true`) is fatal at parse time
+ * instead of silently selecting the default; unrecognized block names
+ * pass through untouched so applications can carry their own
+ * sections. Keep in sync with the fromParams readers (MeshConfig,
+ * DriverConfig, package configs) and documented in the README.
+ */
+const std::map<std::string, std::set<std::string>>&
+knownKnobs()
+{
+    static const std::map<std::string, std::set<std::string>> table = {
+        {"mesh",
+         {"ndim", "nx1", "nx2", "nx3", "num_ghost", "periodic", "x1min",
+          "x1max", "optimize_aux_memory", "use_memory_pool"}},
+        {"meshblock", {"nx1", "nx2", "nx3"}},
+        {"amr",
+         {"num_levels", "derefine_gap", "refine_every", "lb_every"}},
+        {"exec", {"num_threads", "pack_interior"}},
+        {"driver", {"ncycles", "tlim", "fixed_dt"}},
+        {"comm", {"randomize_buffer_keys"}},
+        {"job", {"package"}},
+        {"burgers",
+         {"num_scalars", "cfl", "recon", "refine_tol", "derefine_tol",
+          "ic"}},
+        {"advection",
+         {"vx", "vy", "vz", "cfl", "recon", "refine_tol",
+          "derefine_tol", "ic"}},
+    };
+    return table;
 }
 
 } // namespace
@@ -54,6 +87,15 @@ ParameterInput::fromString(const std::string& text)
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty())
             fatal("input deck line ", lineno, ": empty key");
+        if (auto known = knownKnobs().find(block);
+            known != knownKnobs().end() && !known->second.count(key)) {
+            std::ostringstream valid;
+            for (const auto& knob : known->second)
+                valid << (valid.tellp() > 0 ? ", " : "") << knob;
+            fatal("input deck line ", lineno, ": unknown parameter '",
+                  key, "' in block <", block, "> (known knobs: ",
+                  valid.str(), ")");
+        }
         pin.set(block, key, value);
     }
     return pin;

@@ -24,7 +24,13 @@ class ParameterInput
   public:
     ParameterInput() = default;
 
-    /** Parse deck text; later duplicate keys override earlier ones. */
+    /**
+     * Parse deck text; later duplicate keys override earlier ones.
+     * Unknown knobs inside recognized blocks (mesh, meshblock, amr,
+     * exec, driver, comm, job, and the package blocks) are fatal with
+     * the offending block/knob named — a typo must not silently
+     * select the default. Unrecognized block names pass through.
+     */
     static ParameterInput fromString(const std::string& text);
 
     /** Parse a deck file on disk. Fatal if unreadable. */

@@ -15,6 +15,7 @@
 
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 #include "exec/execution_space.hpp"
 #include "exec/kernel_profiler.hpp"
@@ -204,7 +205,6 @@ runRipple(int num_threads, bool pack_interior, bool optimize_aux = false)
     DriverConfig driver_config;
     driver_config.ncycles = 8;
     driver_config.derefineGap = 2;
-    driver_config.ic = InitialCondition::Ripple;
     EvolutionDriver driver(mesh, package, world, tagger, driver_config);
     driver.initialize();
     driver.run();

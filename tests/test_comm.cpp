@@ -13,7 +13,7 @@
 #include "comm/rank_world.hpp"
 #include "exec/execution_space.hpp"
 #include "exec/kernel_profiler.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/burgers_package.hpp"
 #include "exec/memory_tracker.hpp"
 #include "mesh/mesh.hpp"
 #include "util/logging.hpp"

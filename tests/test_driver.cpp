@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/load_balance.hpp"
 #include "driver/tagger.hpp"
 #include "driver/task_list.hpp"
@@ -489,12 +490,12 @@ TEST(Driver, MassConservedThroughAmrCycles)
     BurgersConfig bc;
     bc.refineTol = 0.05;
     bc.derefineTol = 0.01;
+    bc.ic = InitialCondition::GaussianBlob;
     BurgersPackage package(bc);
     GradientTagger tagger(package);
     DriverConfig config;
     config.ncycles = 8;
     config.derefineGap = 3;
-    config.ic = InitialCondition::GaussianBlob;
     EvolutionDriver driver(*f.mesh, package, *f.world, tagger, config);
     driver.initialize();
     driver.run();
@@ -571,13 +572,10 @@ TEST(Driver, ConfigFromParams)
 ncycles = 25
 <amr>
 derefine_gap = 7
-<burgers>
-ic = sine
 )");
     auto config = DriverConfig::fromParams(pin);
     EXPECT_EQ(config.ncycles, 25);
     EXPECT_EQ(config.derefineGap, 7);
-    EXPECT_EQ(config.ic, InitialCondition::Sine);
 }
 
 } // namespace

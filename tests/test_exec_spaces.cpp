@@ -13,6 +13,7 @@
 
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 #include "exec/execution_space.hpp"
 #include "exec/kernel_profiler.hpp"
@@ -271,7 +272,6 @@ runRipple(int num_threads, bool optimize_aux = false)
 
     DriverConfig driver_config;
     driver_config.ncycles = 3;
-    driver_config.ic = InitialCondition::Ripple;
     EvolutionDriver driver(mesh, package, world, tagger, driver_config);
     driver.initialize();
     driver.run();

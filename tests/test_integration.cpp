@@ -11,6 +11,7 @@
 
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 #include "exec/execution_space.hpp"
 #include "exec/kernel_profiler.hpp"
@@ -30,11 +31,13 @@ struct Sim
     BurgersPackage package;
 
     Sim(int mesh_nx, int block_nx, int levels, int scalars = 2,
-        ExecMode mode = ExecMode::Execute)
+        ExecMode mode = ExecMode::Execute,
+        InitialCondition ic = InitialCondition::Ripple)
         : registry(makeBurgersRegistry(scalars)),
-          package([scalars] {
+          package([scalars, ic] {
               BurgersConfig config;
               config.numScalars = scalars;
+              config.ic = ic;
               return config;
           }())
     {
@@ -63,11 +66,11 @@ struct Sim
 double
 advectionError(int mesh_nx)
 {
-    Sim sim(mesh_nx, mesh_nx / 2, 1);
+    Sim sim(mesh_nx, mesh_nx / 2, 1, 2, ExecMode::Execute,
+            InitialCondition::Sine);
     GradientTagger tagger(sim.package);
     DriverConfig config;
     config.ncycles = 4;
-    config.ic = InitialCondition::Sine;
     EvolutionDriver driver(*sim.mesh, sim.package, *sim.world, tagger,
                            config);
     driver.initialize();
@@ -116,12 +119,12 @@ TEST(Integration, LongRunStaysFiniteAndConservative)
     BurgersConfig bc;
     bc.numScalars = 2;
     bc.refineTol = 0.05;
+    bc.ic = InitialCondition::GaussianBlob;
     BurgersPackage package(bc);
     GradientTagger tagger(package);
     DriverConfig config;
     config.ncycles = 25;
     config.derefineGap = 5;
-    config.ic = InitialCondition::GaussianBlob;
     EvolutionDriver driver(*sim.mesh, package, *sim.world, tagger,
                            config);
     driver.initialize();
@@ -202,11 +205,11 @@ TEST(Integration, ShockFormationTagsRefinement)
     bc.numScalars = 2;
     bc.refineTol = 0.04;
     bc.derefineTol = 0.005;
+    bc.ic = InitialCondition::GaussianBlob;
     BurgersPackage package(bc);
     GradientTagger tagger(package);
     DriverConfig config;
     config.ncycles = 10;
-    config.ic = InitialCondition::GaussianBlob;
     EvolutionDriver driver(*sim.mesh, package, *sim.world, tagger,
                            config);
     driver.initialize();
@@ -216,11 +219,11 @@ TEST(Integration, ShockFormationTagsRefinement)
 
 TEST(Integration, DerivedFieldMatchesDefinitionAfterRun)
 {
-    Sim sim(16, 8, 1);
+    Sim sim(16, 8, 1, 2, ExecMode::Execute,
+            InitialCondition::GaussianBlob);
     GradientTagger tagger(sim.package);
     DriverConfig config;
     config.ncycles = 3;
-    config.ic = InitialCondition::GaussianBlob;
     EvolutionDriver driver(*sim.mesh, sim.package, *sim.world, tagger,
                            config);
     driver.initialize();

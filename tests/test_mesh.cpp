@@ -9,6 +9,7 @@
 #include "exec/memory_tracker.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/variable.hpp"
+#include "pkg/burgers_package.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {

@@ -14,6 +14,7 @@
 #include "comm/ghost_exchange.hpp"
 #include "comm/rank_world.hpp"
 #include "driver/evolution_driver.hpp"
+#include "pkg/burgers_package.hpp"
 #include "driver/tagger.hpp"
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
@@ -158,12 +159,12 @@ TEST_P(ConservationSweep, MassConservedWithAmr)
     bc.numScalars = 2;
     bc.refineTol = 0.05;
     bc.derefineTol = 0.01;
+    bc.ic = InitialCondition::GaussianBlob;
     BurgersPackage package(bc);
     GradientTagger tagger(package);
     DriverConfig config;
     config.ncycles = 6;
     config.derefineGap = 2;
-    config.ic = InitialCondition::GaussianBlob;
     EvolutionDriver driver(mesh, package, world, tagger, config);
     driver.initialize();
     driver.run();

@@ -12,7 +12,7 @@
 #include "exec/memory_tracker.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/prolong_restrict.hpp"
-#include "solver/burgers.hpp"
+#include "pkg/burgers_package.hpp"
 #include "solver/reconstruct.hpp"
 #include "solver/riemann.hpp"
 #include "solver/rk2.hpp"

@@ -374,5 +374,29 @@ TEST(ParameterInput, MissingFileIsFatal)
                  FatalError);
 }
 
+TEST(ParameterInput, UnknownKnobInRecognizedBlockIsFatal)
+{
+    // A typo inside a recognized block must not silently select the
+    // default value.
+    EXPECT_THROW(
+        ParameterInput::fromString("<exec>\npack_interor = true\n"),
+        FatalError);
+    try {
+        ParameterInput::fromString("<mesh>\nnx_1 = 64\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("nx_1"), std::string::npos) << what;
+        EXPECT_NE(what.find("<mesh>"), std::string::npos) << what;
+    }
+    // Package blocks are validated too.
+    EXPECT_THROW(
+        ParameterInput::fromString("<advection>\nvelocity_x = 1\n"),
+        FatalError);
+    // Unrecognized block names pass through untouched.
+    auto pin = ParameterInput::fromString("<myapp>\ncustom = 1\n");
+    EXPECT_EQ(pin.getInt("myapp", "custom", 0), 1);
+}
+
 } // namespace
 } // namespace vibe
