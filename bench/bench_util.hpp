@@ -21,6 +21,24 @@
 namespace vibe::bench {
 
 /**
+ * Extract a boolean `--<name>` flag from argv, removing it so benches
+ * keep their positional-argument parsing. Returns true when present.
+ */
+inline bool
+extractFlag(int& argc, char** argv, const char* name)
+{
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], name) != 0)
+            continue;
+        for (int rest = a + 1; rest < argc; ++rest)
+            argv[rest - 1] = argv[rest];
+        --argc;
+        return true;
+    }
+    return false;
+}
+
+/**
  * Extract a `--json <path>` argument pair from argv, removing both
  * entries so benches keep their positional-argument parsing. Returns
  * the path, or "" when the flag is absent. When present, pass the

@@ -283,6 +283,26 @@ BoundaryBufferCache::totalWireFaces() const
     return faces;
 }
 
+std::int64_t
+BoundaryBufferCache::totalWireFacesFor(int rank) const
+{
+    std::int64_t faces = 0;
+    for (const auto& ch : flux_)
+        if (ch.sender->rank() == rank)
+            faces += ch.wireFaces();
+    return faces;
+}
+
+std::size_t
+BoundaryBufferCache::recvChannelCountFor(int rank) const
+{
+    std::size_t count = 0;
+    for (const auto& ch : bounds_)
+        if (ch.receiver->rank() == rank)
+            ++count;
+    return count;
+}
+
 std::size_t
 BoundaryBufferCache::remoteChannelCount() const
 {

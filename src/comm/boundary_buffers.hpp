@@ -139,6 +139,14 @@ class BoundaryBufferCache
     std::int64_t totalWireCells() const;
     /** Flux-correction faces on the wire for one full exchange. */
     std::int64_t totalWireFaces() const;
+    /**
+     * Flux-correction faces sent by blocks owned by `rank` in one
+     * exchange (sender-attributed, so per-rank counts sum to
+     * totalWireFaces across a team).
+     */
+    std::int64_t totalWireFacesFor(int rank) const;
+    /** Bounds channels whose receiver is owned by `rank`. */
+    std::size_t recvChannelCountFor(int rank) const;
     /** Channels whose endpoints live on different ranks. */
     std::size_t remoteChannelCount() const;
     /** Wire bytes crossing ranks in one exchange (all components). */

@@ -1,7 +1,9 @@
 #include "comm/ghost_exchange.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "exec/par_for.hpp"
 #include "mesh/prolong_restrict.hpp"
@@ -61,28 +63,41 @@ GhostExchange::startReceiveBoundBufs()
     // exchange that threw mid-cycle cannot leak wire counts, pending
     // receives, or stale mailbox deliveries into the next one.
     last_wire_cells_.store(0);
-    std::size_t stale = 0;
-    for (const auto& ch : cache_->bounds())
-        stale += world_->discardPending(ch.id);
-    for (const auto& ch : cache_->flux())
-        stale += world_->discardPending(ch.id);
-    if (stale > 0)
-        warn("ghost exchange discarded ", stale,
-             " stale buffers left by an aborted cycle");
-    pending_receives_.store(cache_->bounds().size());
+    if (!world_->concurrent()) {
+        // Classic single-driver world: any pending delivery at the top
+        // of a cycle is stale garbage from an aborted cycle. With
+        // concurrent rank drivers this sweep would be wrong: a neighbor
+        // rank may legitimately run up to one stage ahead, and its
+        // early sends queue in FIFO order until this rank's matching
+        // receive — exactly MPI's eager-message semantics.
+        std::size_t stale = 0;
+        for (const auto& ch : cache_->bounds())
+            stale += world_->discardPending(ch.id);
+        for (const auto& ch : cache_->flux())
+            stale += world_->discardPending(ch.id);
+        if (stale > 0)
+            warn("ghost exchange discarded ", stale,
+                 " stale buffers left by an aborted cycle");
+    }
+    const std::size_t expected =
+        mesh_->sharded()
+            ? cache_->recvChannelCountFor(mesh_->shardRank())
+            : cache_->bounds().size();
+    pending_receives_.store(expected);
     // Buffer preparation is pure serial host work: one item per
     // expected buffer.
-    recordSerialAt(mesh_->ctx(), "StartReceiveBoundBufs", 0,
-                   "recv_buf_prepare",
-                   static_cast<double>(cache_->bounds().size()));
+    recordSerialAt(mesh_->ctx(), "StartReceiveBoundBufs",
+                   mesh_->collectiveRank(), "recv_buf_prepare",
+                   static_cast<double>(expected));
 }
 
 void
 GhostExchange::sendBoundBufs()
 {
     // Iterate senders in block order so kernel launches batch per block
-    // as Parthenon's packing kernels do.
-    for (const auto& block : mesh_->blocks())
+    // as Parthenon's packing kernels do. A sharded replica sends only
+    // from its owned shard; peers send their own.
+    for (MeshBlock* block : mesh_->ownedBlocks())
         sendBlockBounds(*block);
 }
 
@@ -127,6 +142,10 @@ GhostExchange::packAndSend(const BoundsChannel& ch)
 
     std::vector<double> payload;
     if (ctx.executing()) {
+        require(ch.sender->hasData(),
+                "pack from a storage-less block ",
+                ch.sender->loc().str(),
+                " (sender not owned by this rank?)");
         const BlockShape shape = mesh_->config().blockShape();
         const int ndim = shape.ndim;
         const RealArray4& cons = ch.sender->cons();
@@ -184,6 +203,34 @@ GhostExchange::packAndSend(const BoundsChannel& ch)
 void
 GhostExchange::receiveBoundBufs()
 {
+    if (mesh_->sharded()) {
+        // Sharded replica: only this rank's inbound channels are ours
+        // to consume, and remote senders run on their own threads, so
+        // poll until every expected buffer arrived (the real code's
+        // Iprobe progress loop) instead of asserting instant delivery.
+        const int rank = mesh_->shardRank();
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(kPeerWaitSeconds);
+        std::size_t expected = 0;
+        for (const auto& ch : cache_->bounds()) {
+            if (ch.receiver->rank() != rank)
+                continue;
+            ++expected;
+            while (!world_->iprobe(ch.id)) {
+                require(!world_->failed(),
+                        "ghost exchange aborted: a peer rank failed");
+                require(std::chrono::steady_clock::now() < deadline,
+                        "ghost exchange timed out waiting for buffer "
+                        "into ",
+                        ch.receiver->loc().str(), " on rank ", rank);
+                std::this_thread::yield();
+            }
+        }
+        recordSerialAt(mesh_->ctx(), "ReceiveBoundBufs", rank,
+                       "recv_poll", static_cast<double>(expected));
+        return;
+    }
     // Poll until every expected buffer is present, as the real code
     // nudges MPI progress with Iprobe. In the simulated world delivery
     // is immediate, so one probe per channel suffices; the counters
@@ -218,7 +265,7 @@ GhostExchange::pollBlockBounds(const MeshBlock& block)
 void
 GhostExchange::setBounds()
 {
-    for (const auto& block : mesh_->blocks())
+    for (MeshBlock* block : mesh_->ownedBlocks())
         setBlockBounds(*block);
 }
 
@@ -236,6 +283,26 @@ GhostExchange::setBlockBounds(MeshBlock& block)
         auto msg = world_->receive(ch.id);
         require(msg.has_value(), "missing buffer for channel into ",
                 ch.receiver->loc().str());
+        // No direct cross-rank memory access on the step path: when the
+        // sending block's owner is another rank, the data MUST have
+        // traveled through the mailbox (real payload in numeric mode),
+        // and on a sharded replica the sender is a storage-less Shadow,
+        // making a direct read structurally impossible.
+        require(msg->src == ch.sender->rank() &&
+                    msg->dst == block.rank(),
+                "bounds message rank mismatch: channel ",
+                ch.sender->loc().str(), " -> ", ch.receiver->loc().str(),
+                " carried ", msg->src, " -> ", msg->dst, ", expected ",
+                ch.sender->rank(), " -> ", block.rank());
+        require(ch.sender->rank() == block.rank() ||
+                    !mesh_->ctx().executing() || !msg->payload.empty(),
+                "cross-rank unpack into ", block.loc().str(),
+                " without a mailbox payload");
+        require(!mesh_->sharded() ||
+                    ch.sender->rank() == mesh_->shardRank() ||
+                    !ch.sender->hasData(),
+                "non-owned sender ", ch.sender->loc().str(),
+                " holds data on rank ", mesh_->shardRank());
         unpack(ch, *msg);
         written_values += static_cast<double>(ch.recv.cells()) *
                           mesh_->registry().ncompConserved();
@@ -371,9 +438,9 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
 void
 GhostExchange::exchangeFluxCorrections()
 {
-    for (const auto& block : mesh_->blocks())
+    for (MeshBlock* block : mesh_->ownedBlocks())
         sendBlockFluxCorrections(*block);
-    for (const auto& block : mesh_->blocks())
+    for (MeshBlock* block : mesh_->ownedBlocks())
         setBlockFluxCorrections(*block);
 }
 
@@ -406,6 +473,13 @@ GhostExchange::setBlockFluxCorrections(MeshBlock& block)
         const FluxChannel& ch = cache_->flux()[idx];
         auto msg = world_->receive(ch.id);
         require(msg.has_value(), "missing flux-correction buffer");
+        require(msg->src == ch.sender->rank() &&
+                    msg->dst == block.rank(),
+                "flux message rank mismatch into ", block.loc().str());
+        require(ch.sender->rank() == block.rank() ||
+                    !mesh_->ctx().executing() || !msg->payload.empty(),
+                "cross-rank flux unpack into ", block.loc().str(),
+                " without a mailbox payload");
         unpackFlux(ch, *msg);
     }
 }
@@ -422,6 +496,9 @@ GhostExchange::packAndSendFlux(const FluxChannel& ch)
 
     std::vector<double> payload;
     if (ctx.executing()) {
+        require(ch.sender->hasData(),
+                "flux pack from a storage-less block ",
+                ch.sender->loc().str());
         const RealArray4& flux = ch.sender->flux(ch.dir);
         const int lo[3] = {shape.is(), shape.js(), shape.ks()};
         const int nfine = 1 << (ndim - 1);
@@ -486,6 +563,11 @@ GhostExchange::unpackFlux(const FluxChannel& ch, const Message& msg)
                    static_cast<double>(ch.recvFaces.i.count()));
     if (!ctx.executing())
         return;
+    // One size check up front, then unchecked indexing in the per-face
+    // loop — the same hoist the bounds-unpack path received.
+    require(msg.payload.size() ==
+                static_cast<std::size_t>(ch.wireFaces()) * ncomp,
+            "flux-correction payload size mismatch");
     RealArray4& flux = ch.receiver->flux(ch.dir);
     std::size_t idx = 0;
     for (int n = 0; n < ncomp; ++n)
@@ -493,13 +575,13 @@ GhostExchange::unpackFlux(const FluxChannel& ch, const Message& msg)
             for (int J = ch.recvFaces.j.lo; J <= ch.recvFaces.j.hi; ++J)
                 for (int I = ch.recvFaces.i.lo; I <= ch.recvFaces.i.hi;
                      ++I)
-                    flux(n, K, J, I) = msg.payload.at(idx++);
+                    flux(n, K, J, I) = msg.payload[idx++];
 }
 
 void
 GhostExchange::applyPhysicalBoundaries()
 {
-    for (const auto& block : mesh_->blocks())
+    for (MeshBlock* block : mesh_->ownedBlocks())
         applyPhysicalBoundariesBlock(*block);
 }
 

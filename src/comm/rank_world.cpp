@@ -20,9 +20,11 @@ ChannelIdHash::operator()(const ChannelId& id) const
     return h;
 }
 
-RankWorld::RankWorld(int nranks) : nranks_(nranks)
+RankWorld::RankWorld(int nranks, bool concurrent)
+    : nranks_(nranks), concurrent_(concurrent)
 {
     require(nranks >= 1, "RankWorld needs at least one rank");
+    coll_slots_.assign(static_cast<std::size_t>(nranks), nullptr);
 }
 
 void
@@ -113,6 +115,106 @@ RankWorld::accountTransfer(int src, int dst, double bytes)
         ++traffic_.remoteMessages;
         traffic_.remoteBytes += bytes;
     }
+}
+
+void
+RankWorld::accountCollective(double bytes, CollAccount account)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (account) {
+      case CollAccount::Gather:
+        ++traffic_.allGathers;
+        traffic_.collectiveBytes += bytes * nranks_;
+        break;
+      case CollAccount::Reduce:
+        ++traffic_.allReduces;
+        traffic_.collectiveBytes += bytes;
+        break;
+      case CollAccount::None:
+        break;
+    }
+}
+
+void
+RankWorld::barrier(int rank)
+{
+    if (!concurrent_)
+        return;
+    rendezvous(
+        rank, nullptr,
+        [](const std::vector<const void*>&) -> std::shared_ptr<void> {
+            return nullptr;
+        },
+        0.0, CollAccount::None);
+}
+
+double
+RankWorld::allReduceValue(int rank, double value, CollOp op,
+                          double bytes)
+{
+    if (!concurrent_) {
+        accountCollective(bytes, CollAccount::Reduce);
+        return value;
+    }
+    std::vector<double> mine{value};
+    const std::vector<double> all =
+        allGatherVec(rank, std::move(mine), bytes, CollAccount::Reduce);
+    double result = all.front();
+    for (std::size_t r = 1; r < all.size(); ++r) {
+        switch (op) {
+          case CollOp::Min:
+            result = all[r] < result ? all[r] : result;
+            break;
+          case CollOp::Max:
+            result = all[r] > result ? all[r] : result;
+            break;
+          case CollOp::Sum:
+            result += all[r];
+            break;
+        }
+    }
+    return result;
+}
+
+void
+RankWorld::markFailed()
+{
+    failed_.store(true);
+    std::lock_guard<std::mutex> lock(coll_mutex_);
+    coll_cv_.notify_all();
+}
+
+std::shared_ptr<void>
+RankWorld::rendezvous(int rank, const void* contribution,
+                      Combiner combine, double bytes,
+                      CollAccount account)
+{
+    require(rank >= 0 && rank < nranks_,
+            "collective rank out of range: ", rank);
+    std::unique_lock<std::mutex> lock(coll_mutex_);
+    require(!failed_.load(), "collective entered after a rank failed");
+    require(coll_slots_[rank] == nullptr,
+            "rank ", rank, " entered a collective twice");
+    const std::uint64_t my_generation = coll_generation_;
+    coll_slots_[rank] = contribution;
+    if (++coll_arrived_ == nranks_) {
+        coll_result_ = combine(coll_slots_);
+        coll_slots_.assign(static_cast<std::size_t>(nranks_), nullptr);
+        coll_arrived_ = 0;
+        ++coll_generation_;
+        accountCollective(bytes, account);
+        coll_cv_.notify_all();
+    } else {
+        coll_cv_.wait(lock, [&] {
+            return coll_generation_ != my_generation || failed_.load();
+        });
+        require(!failed_.load(),
+                "collective aborted: a peer rank failed");
+    }
+    // Copy the shared handle under the lock; a next-generation
+    // collective cannot complete (and overwrite the result) until this
+    // rank leaves, because it is one of the required participants.
+    return coll_result_;
 }
 
 } // namespace vibe

@@ -9,22 +9,44 @@
  * accounted separately, as are collective invocations — these counters
  * drive the communication and memory terms of the performance model
  * (paper §IV-E, Fig. 10).
+ *
+ * Two operating modes share one interface:
+ *
+ * - Modeled (the default): a single driver steps every block and the
+ *   collectives are accounting-only — `allReduceValue` and
+ *   `allGatherVec` return their input untouched after bumping the
+ *   traffic counters, exactly the pre-sharding behavior.
+ * - Concurrent (`concurrent = true`): one driver thread per rank. The
+ *   collectives become real rendezvous operations — every rank blocks
+ *   until all `nranks` contributions arrived, the contributions are
+ *   combined deterministically (rank order), and all ranks receive the
+ *   identical result. This is what makes the rank-sharded execution
+ *   path a measurement rather than a model (§V).
  */
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "mesh/logical_location.hpp"
+#include "util/logging.hpp"
 
 namespace vibe {
 
 /** What a point-to-point channel carries. */
-enum class ChannelKind : std::uint8_t { Bounds = 0, Flux = 1 };
+enum class ChannelKind : std::uint8_t
+{
+    Bounds = 0, ///< Ghost-cell boundary buffers.
+    Flux = 1,   ///< Flux-correction faces.
+    Block = 2,  ///< Whole-block state (migration, remote restriction).
+};
 
 /**
  * Stable identity of a directed communication channel: (sender block,
@@ -75,6 +97,25 @@ struct Traffic
 };
 
 /**
+ * Wall seconds any wait on peer-rank progress (mailbox polls, stage
+ * graphs, migration receives, remote restrictions) tolerates before
+ * declaring the team stuck. One shared policy constant so every path
+ * that must unwind together on a rank failure aborts consistently.
+ */
+inline constexpr double kPeerWaitSeconds = 120.0;
+
+/** Combine operation for value-carrying collectives. */
+enum class CollOp { Min, Max, Sum };
+
+/** How a collective is charged to the traffic counters. */
+enum class CollAccount
+{
+    Gather, ///< allGathers++, collectiveBytes += bytes * nranks.
+    Reduce, ///< allReduces++, collectiveBytes += bytes.
+    None,   ///< Pure synchronization (barrier), not charged.
+};
+
+/**
  * The simulated communicator. Delivery is immediate (a message becomes
  * probe-able as soon as it is sent); the *cost* of transport is applied
  * later by the performance model, which is the right decomposition for
@@ -89,9 +130,16 @@ struct Traffic
 class RankWorld
 {
   public:
-    explicit RankWorld(int nranks);
+    /**
+     * @param concurrent Real rendezvous collectives (one driver thread
+     *        per rank must participate); false keeps the modeled
+     *        accounting-only behavior, bit for bit.
+     */
+    explicit RankWorld(int nranks, bool concurrent = false);
 
     int nranks() const { return nranks_; }
+    /** True when collectives are real rendezvous operations. */
+    bool concurrent() const { return concurrent_; }
 
     /** Non-blocking send on `channel` from rank `src` to rank `dst`. */
     void isend(const ChannelId& channel, int src, int dst,
@@ -126,16 +174,100 @@ class RankWorld
      */
     void accountTransfer(int src, int dst, double bytes);
 
+    // --- Real collectives (rendezvous in concurrent mode) ------------
+
+    /**
+     * Block until every rank arrived. Accounting-only no-op in modeled
+     * mode.
+     */
+    void barrier(int rank);
+
+    /**
+     * AllReduce of one double: every rank contributes `value`; all
+     * receive the rank-order fold under `op` (exact for Min/Max,
+     * deterministic for Sum). Modeled mode: accounts an allReduce of
+     * `bytes` and returns `value` unchanged — the historical behavior.
+     */
+    double allReduceValue(int rank, double value, CollOp op,
+                          double bytes);
+
+    /**
+     * AllGather of a per-rank vector; the result is the rank-order
+     * concatenation, identical on every rank. Modeled mode: accounts
+     * and returns `mine` unchanged. `T` must be trivially copyable.
+     */
+    template <typename T>
+    std::vector<T> allGatherVec(int rank, std::vector<T> mine,
+                                double bytes, CollAccount account);
+
+    /**
+     * Mark the world failed (a peer rank threw). Wakes every rendezvous
+     * waiter with an error so no rank hangs on a dead peer; polling
+     * loops should also consult failed().
+     */
+    void markFailed();
+    bool failed() const { return failed_.load(); }
+
     const Traffic& traffic() const { return traffic_; }
     void resetTraffic() { traffic_ = Traffic{}; }
 
   private:
+    using Combiner =
+        std::shared_ptr<void> (*)(const std::vector<const void*>&);
+
+    /**
+     * Generation rendezvous: deposit `contribution`, wait for all
+     * ranks; the last arrival runs `combine` over the rank-ordered
+     * contribution slots and publishes the shared result.
+     */
+    std::shared_ptr<void> rendezvous(int rank, const void* contribution,
+                                     Combiner combine, double bytes,
+                                     CollAccount account);
+
+    void accountCollective(double bytes, CollAccount account);
+
     int nranks_;
+    bool concurrent_;
     mutable std::mutex mutex_;
     std::unordered_map<ChannelId, std::deque<Message>, ChannelIdHash>
         mailboxes_;
     std::size_t pending_total_ = 0;
     Traffic traffic_;
+
+    // Rendezvous state (own lock: waiters must not stall the mailbox).
+    std::mutex coll_mutex_;
+    std::condition_variable coll_cv_;
+    std::vector<const void*> coll_slots_;
+    std::shared_ptr<void> coll_result_;
+    int coll_arrived_ = 0;
+    std::uint64_t coll_generation_ = 0;
+    std::atomic<bool> failed_{false};
 };
+
+template <typename T>
+std::vector<T>
+RankWorld::allGatherVec(int rank, std::vector<T> mine, double bytes,
+                        CollAccount account)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "allGatherVec payloads must be trivially copyable");
+    if (!concurrent_) {
+        accountCollective(bytes, account);
+        return mine;
+    }
+    const Combiner combine =
+        [](const std::vector<const void*>& slots) -> std::shared_ptr<void> {
+        auto out = std::make_shared<std::vector<T>>();
+        for (const void* slot : slots) {
+            const auto& v = *static_cast<const std::vector<T>*>(slot);
+            out->insert(out->end(), v.begin(), v.end());
+        }
+        return out;
+    };
+    std::shared_ptr<void> result =
+        rendezvous(rank, &mine, combine, bytes, account);
+    return std::vector<T>(
+        *std::static_pointer_cast<std::vector<T>>(result));
+}
 
 } // namespace vibe

@@ -1,9 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "comm/rank_world.hpp"
+#include "driver/rank_team.hpp"
 #include "driver/tagger.hpp"
 #include "mesh/variable.hpp"
 #include "pkg/package_registry.hpp"
@@ -38,6 +40,11 @@ Experiment::run() const
     const ExperimentSpec& spec = spec_;
     require(spec.meshSize % spec.blockSize == 0,
             "mesh size must be a multiple of the block size (§II-F)");
+    if (spec.numRanks < 1)
+        fatal("numRanks must be at least 1, got ", spec.numRanks);
+    if (spec.numRanks > 1 && !spec.numeric)
+        fatal("rank-sharded execution (numRanks > 1) requires numeric "
+              "mode; counting studies model ranks via the platform");
 
     ExperimentResult result;
     result.spec = spec;
@@ -61,6 +68,61 @@ Experiment::run() const
     mesh_config.amrLevels = spec.amrLevels;
     mesh_config.optimizeAuxMemory = spec.optimizeAuxMemory;
     mesh_config.numThreads = spec.numThreads;
+    mesh_config.numRanks = spec.numRanks;
+
+    DriverConfig driver_config;
+    driver_config.ncycles = spec.ncycles;
+    driver_config.fixedDt = spec.fixedDt();
+    driver_config.randomizeBufferKeys = spec.randomizeBufferKeys;
+
+    if (spec.numRanks > 1) {
+        // Rank-sharded measured path: one driver per rank on its own
+        // thread, coupled only through RankWorld. Per-rank
+        // instrumentation is merged into the run-wide report after.
+        RankTeam team(mesh_config, registry, *package, driver_config,
+                      [&package](int) {
+                          return std::make_unique<GradientTagger>(
+                              *package);
+                      });
+        team.run();
+
+        KernelProfiler profiler;
+        MemoryTracker tracker;
+        team.mergeInstrumentation(&profiler, &tracker);
+
+        result.zoneCycles = team.zoneCycles();
+        result.commCells = team.commCells();
+        result.commFaces = team.commFaces();
+        result.cellUpdates = 2 * team.zoneCycles();
+        result.finalBlocks = team.mesh(0).numBlocks();
+        result.kokkosBytes = tracker.currentBytes();
+        result.history = team.aggregatedHistory();
+        result.profiler = profiler;
+        result.wallSeconds = team.wallSeconds();
+        result.traffic = team.world().traffic();
+        result.migratedStorageBytes = team.migratedStorageBytes();
+
+        EvolutionDriver& driver0 = team.driver(0);
+        RunArtifacts artifacts;
+        artifacts.profiler = &result.profiler;
+        artifacts.ncycles = driver0.cycle();
+        artifacts.zoneCycles = team.zoneCycles();
+        artifacts.commCells = team.commCells();
+        artifacts.kokkosBytes = tracker.currentBytes();
+        artifacts.remoteWireBytes =
+            driver0.bufferCache().remoteWireBytes();
+        artifacts.remoteMsgsPerCycle =
+            driver0.cycle() > 0
+                ? static_cast<double>(
+                      team.world().traffic().remoteMessages) /
+                      static_cast<double>(driver0.cycle())
+                : 0.0;
+        artifacts.finalBlocks = team.mesh(0).numBlocks();
+
+        const ExecutionModel model;
+        result.report = model.evaluate(artifacts, spec.platform);
+        return result;
+    }
 
     KernelProfiler profiler;
     MemoryTracker tracker;
@@ -75,11 +137,6 @@ Experiment::run() const
     Mesh mesh(mesh_config, registry, ctx);
 
     RankWorld world(spec.platform.ranks);
-
-    DriverConfig driver_config;
-    driver_config.ncycles = spec.ncycles;
-    driver_config.fixedDt = spec.fixedDt();
-    driver_config.randomizeBufferKeys = spec.randomizeBufferKeys;
 
     GradientTagger gradient_tagger(*package);
     // Counting-mode feature: a compact pulsating blob (the Gaussian
@@ -102,8 +159,14 @@ Experiment::run() const
                      : static_cast<RefinementTagger&>(wave_tagger);
 
     EvolutionDriver driver(mesh, *package, world, tagger, driver_config);
+    const auto wall_start = std::chrono::steady_clock::now();
     driver.initialize();
     driver.run();
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             wall_start)
+                             .count();
+    result.traffic = world.traffic();
 
     result.zoneCycles = driver.zoneCycles();
     result.commCells = driver.commCells();

@@ -54,6 +54,15 @@ struct ExperimentSpec
      * state are backend-independent.
      */
     int numThreads = 1;
+    /**
+     * Simulated ranks executing concurrently (the `exec/num_ranks`
+     * knob): 1 runs the classic single-driver loop; >1 launches a
+     * RankTeam — one driver thread per rank over a disjoint block
+     * shard, all coupling through RankWorld — turning the §V rank
+     * scaling from a model output into a measurement. Requires
+     * `numeric`; results are bitwise identical to numRanks = 1.
+     */
+    int numRanks = 1;
 
     // Platform.
     PlatformConfig platform = PlatformConfig::gpu(1, 1);
@@ -76,6 +85,22 @@ struct ExperimentResult
     std::size_t finalBlocks = 0;
     std::size_t kokkosBytes = 0;
     std::vector<CycleStats> history;
+
+    // Measured-run facts (the --measured benches read these).
+    /** Wall seconds of initialize + evolve (all ranks). */
+    double wallSeconds = 0;
+    /** RankWorld traffic counters at the end of the run. */
+    Traffic traffic;
+    /** Real state bytes migrated by load balancing (sharded runs). */
+    double migratedStorageBytes = 0;
+
+    /** Measured zone-cycles per wall second (0 if wall time is 0). */
+    double measuredFom() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(zoneCycles) / wallSeconds
+                   : 0.0;
+    }
 
     /** Full profiler copy (opcode model, Table III, breakdowns). */
     KernelProfiler profiler;

@@ -1,6 +1,7 @@
 #include "driver/evolution_driver.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "driver/task_list.hpp"
 #include "exec/memory_tracker.hpp"
@@ -51,21 +52,28 @@ EvolutionDriver::initialize()
         package_->initialize(*mesh_);
 
     // Initial refinement: iterate up to the level budget so the mesh
-    // conforms to the tagging criterion before evolution starts.
+    // conforms to the tagging criterion before evolution starts. Each
+    // rank tags only its owned shard; the flags are all-gathered so
+    // every replica applies the identical tree update.
     const int max_iters = mesh_->config().amrLevels - 1;
     for (int iter = 0; iter < max_iters; ++iter) {
         tagger_->tagAll(*mesh_, time_, cycle_);
-        RefinementFlagMap flags;
-        for (const auto& block : mesh_->blocks())
+        std::vector<FlagEntry> local;
+        for (const MeshBlock* block : mesh_->ownedBlocks())
             if (block->tag() == RefinementFlag::Refine)
-                flags[block->loc()] = RefinementFlag::Refine;
+                local.push_back(
+                    {block->loc(),
+                     static_cast<int>(RefinementFlag::Refine)});
+        RefinementFlagMap flags =
+            gatherFlags(std::move(local), 0.0, CollAccount::None);
         auto update = mesh_->updateTree(flags);
         if (!update.changed())
             break;
         auto restructure = mesh_->applyTreeUpdate(update, cycle_);
         if (ctx.executing()) {
             // At initialization new blocks take exact initial
-            // conditions rather than prolongated data.
+            // conditions rather than prolongated data (non-owned
+            // Shadow blocks skip inside initializeBlock).
             for (auto& refined : restructure.refined)
                 for (MeshBlock* child : refined.children)
                     package_->initializeBlock(ctx, *child);
@@ -138,6 +146,7 @@ EvolutionDriver::doCycle()
     stats.refined = last_refined_;
     stats.derefined = last_derefined_;
     stats.movedBlocks = last_moved_;
+    stats.migratedStorageBytes = last_migrated_bytes_;
     history_.push_back(stats);
 
     // Cycle boundary: all launches have completed, so fold any
@@ -148,6 +157,24 @@ EvolutionDriver::doCycle()
         ctx.profiler()->sync();
     if (ctx.tracker())
         ctx.tracker()->sync();
+}
+
+TaskExecOptions
+EvolutionDriver::stageExecOptions() const
+{
+    TaskExecOptions options;
+    options.space = &mesh_->ctx().space();
+    // On a rank team, this graph's polls wait on messages produced by
+    // OTHER ranks' driver threads: completion counts say nothing about
+    // progress, so stalls are judged by wall clock instead — and a
+    // peer failure aborts promptly rather than burning the deadline.
+    options.external_progress = world_->concurrent();
+    options.external_stall_seconds = kPeerWaitSeconds;
+    if (options.external_progress) {
+        RankWorld* world = world_;
+        options.external_abort = [world] { return world->failed(); };
+    }
+    return options;
 }
 
 void
@@ -163,9 +190,7 @@ EvolutionDriver::step()
     saveState(*mesh_);
     for (int stage = 1; stage <= 2; ++stage) {
         TaskList tl = buildStageGraph(stage, fc);
-        TaskExecOptions options;
-        options.space = &mesh_->ctx().space();
-        tl.execute(options);
+        tl.execute(stageExecOptions());
         task_wall_seconds_ += tl.lastExecuteSeconds();
         task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
         task_compute_seconds_ +=
@@ -173,7 +198,10 @@ EvolutionDriver::step()
 
         comm_cells_ += exchange_.lastWireCells();
         if (fc)
-            comm_faces_ += cache_.totalWireFaces();
+            comm_faces_ += mesh_->sharded()
+                               ? cache_.totalWireFacesFor(
+                                     mesh_->shardRank())
+                               : cache_.totalWireFaces();
     }
     package_->fillDerived(*mesh_);
 }
@@ -205,8 +233,7 @@ EvolutionDriver::stepPacked(bool flux_correction)
 {
     using clock = std::chrono::steady_clock;
     MeshBlockPack& pack = ensurePack();
-    TaskExecOptions options;
-    options.space = &mesh_->ctx().space();
+    const TaskExecOptions options = stageExecOptions();
 
     saveStatePack(*mesh_, pack);
     for (int stage = 1; stage <= 2; ++stage) {
@@ -241,7 +268,10 @@ EvolutionDriver::stepPacked(bool flux_correction)
 
         comm_cells_ += exchange_.lastWireCells();
         if (flux_correction)
-            comm_faces_ += cache_.totalWireFaces();
+            comm_faces_ += mesh_->sharded()
+                               ? cache_.totalWireFacesFor(
+                                     mesh_->shardRank())
+                               : cache_.totalWireFaces();
     }
     package_->fillDerivedPack(*mesh_, pack);
 }
@@ -257,8 +287,8 @@ EvolutionDriver::buildBoundsGraph()
             return TaskStatus::Complete;
         },
         {}, TaskCategory::Comm);
-    for (const auto& block_ptr : mesh_->blocks())
-        addBoundsTasks(tl, block_ptr.get(), t_start);
+    for (MeshBlock* block : mesh_->ownedBlocks())
+        addBoundsTasks(tl, block, t_start);
     return tl;
 }
 
@@ -268,8 +298,8 @@ EvolutionDriver::buildFluxCorrGraph()
     // All fluxes are already computed when this graph runs, so the
     // send/poll pair needs no dependencies.
     TaskList tl;
-    for (const auto& block_ptr : mesh_->blocks())
-        addFluxCorrTasks(tl, block_ptr.get(), {});
+    for (MeshBlock* block : mesh_->ownedBlocks())
+        addFluxCorrTasks(tl, block, {});
     return tl;
 }
 
@@ -302,8 +332,7 @@ EvolutionDriver::buildStageGraph(int stage, bool flux_correction)
         mesh_->ctx().space().concurrency() > 1;
     TaskId prev_flux = -1;
 
-    for (const auto& block_ptr : mesh_->blocks()) {
-        MeshBlock* block = block_ptr.get();
+    for (MeshBlock* block : mesh_->ownedBlocks()) {
         const std::string gid = std::to_string(block->gid());
         const BoundsTaskIds bounds = addBoundsTasks(tl, block, t_start);
 
@@ -408,10 +437,27 @@ EvolutionDriver::addFluxCorrTasks(TaskList& tl, MeshBlock* block,
 }
 
 RefinementFlagMap
+EvolutionDriver::gatherFlags(std::vector<FlagEntry> local,
+                             double bytes_per_rank, CollAccount account)
+{
+    const std::vector<FlagEntry> all = world_->allGatherVec(
+        mesh_->collectiveRank(), std::move(local), bytes_per_rank,
+        account);
+    RefinementFlagMap flags;
+    for (const FlagEntry& entry : all)
+        flags[entry.loc] = static_cast<RefinementFlag>(entry.flag);
+    return flags;
+}
+
+RefinementFlagMap
 EvolutionDriver::collectFlags()
 {
-    RefinementFlagMap flags;
-    for (const auto& block : mesh_->blocks()) {
+    // Each rank decides for its owned shard only (tags on non-owned
+    // replicas are stale); the union is all-gathered below, and
+    // BlockTree::update sorts flagged leaves before processing, so the
+    // replicated tree update is order-independent and deterministic.
+    std::vector<FlagEntry> local;
+    for (const MeshBlock* block : mesh_->ownedBlocks()) {
         RefinementFlag tag = block->tag();
         // Derefinement gap: a block must have existed for at least
         // `derefineGap` cycles before it may be coarsened (§II-G).
@@ -419,9 +465,14 @@ EvolutionDriver::collectFlags()
             cycle_ - block->createdCycle() < config_.derefineGap)
             tag = RefinementFlag::None;
         if (tag != RefinementFlag::None)
-            flags[block->loc()] = tag;
+            local.push_back({block->loc(), static_cast<int>(tag)});
     }
-    return flags;
+    // Flags are aggregated across ranks with an AllGather (one flag
+    // per block).
+    return gatherFlags(std::move(local),
+                       4.0 * static_cast<double>(mesh_->numBlocks()) /
+                           world_->nranks(),
+                       CollAccount::Gather);
 }
 
 void
@@ -431,6 +482,7 @@ EvolutionDriver::loadBalancingAndAmr()
     last_refined_ = 0;
     last_derefined_ = 0;
     last_moved_ = 0;
+    last_migrated_bytes_ = 0;
 
     const bool do_amr = mesh_->config().amrLevels > 1 &&
                         config_.refineEvery > 0 &&
@@ -442,11 +494,6 @@ EvolutionDriver::loadBalancingAndAmr()
 
         {
             PhaseScope scope(ctx.profiler(), "UpdateMeshBlockTree");
-            // Flags are aggregated across ranks with an AllGather
-            // (one flag per block).
-            world_->allGather(
-                4.0 * static_cast<double>(mesh_->numBlocks()) /
-                world_->nranks());
             recordSerial(ctx, "collective", 1.0);
             update = mesh_->updateTree(collectFlags());
         }
@@ -464,6 +511,7 @@ EvolutionDriver::loadBalancingAndAmr()
         if (config_.lbEvery > 0 && cycle_ % config_.lbEvery == 0) {
             auto lb = loadBalance(*mesh_, *world_);
             last_moved_ = lb.movedBlocks;
+            last_migrated_bytes_ = lb.migratedStorageBytes;
         }
         if (update.changed() || last_moved_ > 0) {
             // BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors.
@@ -477,7 +525,15 @@ EvolutionDriver::applyRestructureData(
     const Mesh::Restructure& restructure)
 {
     const ExecContext& ctx = mesh_->ctx();
+    const bool sharded = mesh_->sharded();
+    const int my_rank = mesh_->collectiveRank();
+
+    // Prolongation is always owner-local: children inherit the
+    // parent's rank, so the data and its destination live on one
+    // rank. A sharded replica simply skips sets it does not own.
     for (const auto& refined : restructure.refined) {
+        if (sharded && refined.parent->rank() != my_rank)
+            continue;
         for (MeshBlock* child : refined.children) {
             ctx.setCurrentRank(child->rank());
             if (ctx.executing())
@@ -490,6 +546,70 @@ EvolutionDriver::applyRestructureData(
                              static_cast<double>(child->shape().nx1));
         }
     }
+
+    // Restriction can cross ranks: load balancing may have scattered a
+    // sibling set, while the merged parent lands on the first child's
+    // rank. Remote children restrict on their owner and ship the
+    // coarse octant through a mailbox — send pass first, receive pass
+    // second, so migrating sibling sets in both directions between two
+    // ranks cannot deadlock.
+    if (sharded && ctx.executing()) {
+        for (const auto& derefined : restructure.derefined) {
+            const int parent_rank = derefined.parent->rank();
+            for (const auto& child : derefined.children) {
+                if (child->rank() != my_rank ||
+                    parent_rank == my_rank)
+                    continue;
+                ctx.setCurrentRank(my_rank);
+                std::vector<double> payload =
+                    restrictChildOctant(ctx, *child);
+                const double bytes =
+                    static_cast<double>(payload.size()) *
+                    sizeof(double);
+                ChannelId channel;
+                channel.sender = child->loc();
+                channel.receiver = derefined.parent->loc();
+                channel.kind = ChannelKind::Block;
+                world_->isend(channel, my_rank, parent_rank,
+                              std::move(payload), bytes);
+            }
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(kPeerWaitSeconds));
+        for (const auto& derefined : restructure.derefined) {
+            if (derefined.parent->rank() != my_rank)
+                continue;
+            ctx.setCurrentRank(my_rank);
+            for (const auto& child : derefined.children) {
+                if (child->rank() == my_rank) {
+                    restrictChildToParent(ctx, *child,
+                                          *derefined.parent);
+                    continue;
+                }
+                ChannelId channel;
+                channel.sender = child->loc();
+                channel.receiver = derefined.parent->loc();
+                channel.kind = ChannelKind::Block;
+                std::optional<Message> msg;
+                while (!(msg = world_->receive(channel)).has_value()) {
+                    require(!world_->failed(),
+                            "remote restriction aborted: a peer rank "
+                            "failed");
+                    require(std::chrono::steady_clock::now() < deadline,
+                            "remote restriction timed out waiting for ",
+                            child->loc().str());
+                    std::this_thread::yield();
+                }
+                applyRestrictedOctant(ctx, *derefined.parent,
+                                      child->loc(), msg->payload);
+            }
+        }
+        return;
+    }
+
     for (const auto& derefined : restructure.derefined) {
         for (const auto& child : derefined.children) {
             ctx.setCurrentRank(derefined.parent->rank());

@@ -63,6 +63,12 @@ struct CycleStats
     int refined = 0;                ///< Blocks split this cycle.
     int derefined = 0;              ///< Sibling sets merged this cycle.
     int movedBlocks = 0;            ///< Blocks re-homed by load balance.
+    /**
+     * Real state bytes serialized through mailboxes by this cycle's
+     * load balance (0 on the classic relabel-only path); the modeled
+     * counterpart is LoadBalanceStats::movedBytes.
+     */
+    double migratedStorageBytes = 0;
     double mass = 0;                ///< History output (numeric mode).
 };
 
@@ -154,8 +160,26 @@ class EvolutionDriver
     TaskList buildBoundsGraph();
     /** Flux-correction-only task graph (send/poll/apply per block). */
     TaskList buildFluxCorrGraph();
+    /** Execution options for stage graphs (space + peer-wait policy). */
+    TaskExecOptions stageExecOptions() const;
     void loadBalancingAndAmr();
     void applyRestructureData(const Mesh::Restructure& restructure);
+
+    /** One rank's refinement decision for a block (wire format). */
+    struct FlagEntry
+    {
+        LogicalLocation loc;
+        int flag = 0;
+    };
+    /**
+     * Aggregate per-rank refinement flags into the replicated flag
+     * map: a real AllGather on a sharded team (every rank receives the
+     * union and rebuilds the identical tree), a pass-through on the
+     * classic path.
+     */
+    RefinementFlagMap gatherFlags(std::vector<FlagEntry> local,
+                                  double bytes_per_rank,
+                                  CollAccount account);
     RefinementFlagMap collectFlags();
 
     Mesh* mesh_;
@@ -173,6 +197,7 @@ class EvolutionDriver
     int last_refined_ = 0;
     int last_derefined_ = 0;
     int last_moved_ = 0;
+    double last_migrated_bytes_ = 0;
     std::int64_t zone_cycles_ = 0;
     std::int64_t comm_cells_ = 0;
     std::int64_t comm_faces_ = 0;

@@ -1,10 +1,35 @@
 #include "driver/load_balance.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
 
 #include "exec/par_for.hpp"
 
 namespace vibe {
+
+namespace {
+
+/** Migration channel for the block at `loc` (kind = whole-block). */
+ChannelId
+migrationChannel(const LogicalLocation& loc)
+{
+    ChannelId id;
+    id.sender = loc;
+    id.receiver = loc;
+    id.kind = ChannelKind::Block;
+    return id;
+}
+
+/** One rank's cost contribution: (gid, cost) per owned block. */
+struct CostEntry
+{
+    int gid = 0;
+    double cost = 0;
+};
+
+} // namespace
 
 LoadBalanceStats
 loadBalance(Mesh& mesh, RankWorld& world)
@@ -16,21 +41,38 @@ loadBalance(Mesh& mesh, RankWorld& world)
     if (blocks.empty())
         return stats;
 
-    // Costs are exchanged with an AllGather (one entry per block).
-    world.allGather(static_cast<double>(sizeof(double)) *
-                    static_cast<double>(blocks.size()) / nranks);
+    const int my_rank = mesh.collectiveRank();
+
+    // Costs are exchanged with an AllGather (one entry per block). On
+    // the sharded path this is a real rendezvous — each rank
+    // contributes its owned blocks' costs and receives the full map —
+    // which also synchronizes the team before any storage moves.
+    std::vector<CostEntry> local_costs;
+    local_costs.reserve(mesh.ownedBlocks().size());
+    for (const MeshBlock* block : mesh.ownedBlocks())
+        local_costs.push_back({block->gid(), block->cost()});
+    const std::vector<CostEntry> gathered = world.allGatherVec(
+        my_rank, std::move(local_costs),
+        static_cast<double>(sizeof(double)) *
+            static_cast<double>(blocks.size()) / nranks,
+        CollAccount::Gather);
     recordSerial(ctx, "collective", 1.0);
     // The partition walk itself is serial host work.
     recordSerial(ctx, "lb_partition", static_cast<double>(blocks.size()));
 
+    std::vector<double> cost_of(blocks.size(), 0.0);
+    for (const CostEntry& entry : gathered)
+        cost_of.at(static_cast<std::size_t>(entry.gid)) = entry.cost;
+
     double total_cost = 0;
-    for (const auto& block : blocks)
-        total_cost += block->cost();
+    for (double cost : cost_of)
+        total_cost += cost;
     const double target = total_cost / nranks;
 
     // Greedy prefix partition over the Z-ordered list: rank r takes
     // blocks until the running cost passes (r+1) * target, but never
-    // starves trailing ranks of remaining blocks.
+    // starves trailing ranks of remaining blocks. Inputs are gathered
+    // (identical on every replica), so the partition is too.
     std::vector<int> new_rank(blocks.size(), 0);
     double cum = 0;
     int rank = 0;
@@ -42,23 +84,81 @@ loadBalance(Mesh& mesh, RankWorld& world)
             rank = nranks - static_cast<int>(remaining);
         }
         new_rank[b] = rank;
-        cum += blocks[b]->cost();
+        cum += cost_of[b];
         if (cum >= target * (rank + 1) && rank + 1 < nranks)
             ++rank;
     }
 
     std::vector<double> rank_cost(nranks, 0.0);
+    const bool sharded = mesh.sharded();
+
+    // Pass 1 — departures: a sharded replica serializes every block it
+    // owns that is leaving and posts the payload before looking at any
+    // arrival, so migration cannot deadlock (all sends are
+    // non-blocking and precede all receives on every rank).
+    if (sharded) {
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            MeshBlock& block = *blocks[b];
+            if (block.rank() != my_rank || new_rank[b] == my_rank)
+                continue;
+            std::vector<double> payload = block.serializeState();
+            const double bytes =
+                static_cast<double>(payload.size()) * sizeof(double);
+            world.isend(migrationChannel(block.loc()), my_rank,
+                        new_rank[b], std::move(payload), bytes);
+            block.dematerialize();
+        }
+    }
+
+    // Pass 2 — relabel and account. Every replica applies the full
+    // relabeling so owner lookups stay replicated.
+    std::vector<std::size_t> arrivals;
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         MeshBlock& block = *blocks[b];
-        rank_cost[new_rank[b]] += block.cost();
-        if (block.rank() != new_rank[b]) {
-            ++stats.movedBlocks;
-            const double bytes =
-                static_cast<double>(block.dataBytes());
-            stats.movedBytes += bytes;
-            world.accountTransfer(block.rank(), new_rank[b], bytes);
-            block.setRank(new_rank[b]);
+        rank_cost[new_rank[b]] += cost_of[b];
+        if (block.rank() == new_rank[b])
+            continue;
+        ++stats.movedBlocks;
+        stats.movedBytes += static_cast<double>(block.dataBytes());
+        if (sharded) {
+            stats.migratedStorageBytes +=
+                static_cast<double>(block.serializedStateCount()) *
+                sizeof(double);
+            if (new_rank[b] == my_rank)
+                arrivals.push_back(b);
+        } else {
+            world.accountTransfer(block.rank(), new_rank[b],
+                                  static_cast<double>(block.dataBytes()));
         }
+        block.setRank(new_rank[b]);
+    }
+
+    // Pass 3 — arrivals: materialize from THIS rank's pool and unpack
+    // the serialized state. Peers' sends were posted in their pass 1,
+    // so a bounded poll wait suffices.
+    if (sharded) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(kPeerWaitSeconds));
+        for (std::size_t b : arrivals) {
+            MeshBlock& block = *blocks[b];
+            const ChannelId channel = migrationChannel(block.loc());
+            std::optional<Message> msg;
+            while (!(msg = world.receive(channel)).has_value()) {
+                require(!world.failed(),
+                        "block migration aborted: a peer rank failed");
+                require(std::chrono::steady_clock::now() < deadline,
+                        "block migration timed out waiting for ",
+                        block.loc().str());
+                std::this_thread::yield();
+            }
+            mesh.realizeBlock(block);
+            block.deserializeState(msg->payload);
+        }
+        if (stats.movedBlocks > 0)
+            mesh.refreshOwnership();
     }
 
     stats.maxRankCost =

@@ -6,7 +6,12 @@
  * Parthenon assigns contiguous runs of the Z-ordered block list to
  * ranks so per-rank cost is balanced; blocks whose rank changes are
  * shipped over MPI using the ghost-exchange machinery. We reproduce
- * the same greedy prefix partition and account the shipped bytes.
+ * the same greedy prefix partition. On the classic (modeled) path the
+ * shipped bytes are accounted only; on the rank-sharded path the move
+ * is real — the source rank serializes the block's state through a
+ * RankWorld mailbox, the destination rank materializes storage from
+ * its own BlockMemoryPool and unpacks, and every replica relabels the
+ * block's owner, so the partition stays replicated-deterministic.
  */
 #pragma once
 
@@ -19,7 +24,16 @@ namespace vibe {
 struct LoadBalanceStats
 {
     int movedBlocks = 0;      ///< Blocks whose owner rank changed.
-    double movedBytes = 0;    ///< Data shipped for those moves.
+    /** Modeled bytes for those moves (every array a block carries). */
+    double movedBytes = 0;
+    /**
+     * Real payload serialized through RankWorld mailboxes (conserved +
+     * derived state of migrated blocks). Zero on the classic path,
+     * where moves only relabel; the gap between movedBytes and
+     * migratedStorageBytes is exactly the scratch a migration never
+     * ships because the receiver rebuilds it.
+     */
+    double migratedStorageBytes = 0;
     double maxRankCost = 0;   ///< Heaviest rank's total cost.
     double meanRankCost = 0;  ///< Average rank cost.
 
@@ -32,8 +46,11 @@ struct LoadBalanceStats
 
 /**
  * Greedy Z-order prefix partition of blocks over `world.nranks()`
- * ranks using per-block costs; ships re-homed blocks (accounted as
- * remote traffic) and records the serial partitioning work.
+ * ranks using per-block costs; re-homed blocks are shipped (really,
+ * on a sharded replica; accounted, on the classic path) and the
+ * serial partitioning work is recorded. In a rank team every rank
+ * calls this collectively: the cost gather is the synchronization
+ * point and each replica computes the identical partition.
  */
 LoadBalanceStats loadBalance(Mesh& mesh, RankWorld& world);
 

@@ -1,0 +1,169 @@
+#include "driver/rank_team.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+RankTeam::RankTeam(const MeshConfig& mesh_config,
+                   const VariableRegistry& registry,
+                   const PackageDescriptor& package,
+                   const DriverConfig& driver_config,
+                   TaggerFactory make_tagger)
+    : mesh_config_(mesh_config), registry_(&registry),
+      package_(&package), driver_config_(driver_config),
+      make_tagger_(std::move(make_tagger)),
+      num_ranks_(mesh_config.numRanks),
+      world_(mesh_config.numRanks,
+             /*concurrent=*/mesh_config.numRanks > 1)
+{
+    require(num_ranks_ >= 1, "RankTeam needs at least one rank");
+    require(make_tagger_ != nullptr, "RankTeam needs a tagger factory");
+    states_.resize(static_cast<std::size_t>(num_ranks_));
+}
+
+RankTeam::~RankTeam() = default;
+
+void
+RankTeam::runRank(int rank)
+{
+    try {
+        // Construct everything on this thread: the profiler and
+        // tracker take it as their owner (lock-free fast paths), the
+        // pool's restructure-path assertions hold, and the execution
+        // space's workers belong to this rank alone.
+        auto state = std::make_unique<RankState>();
+        state->ctx = std::make_unique<ExecContext>(
+            ExecMode::Execute, &state->profiler, &state->tracker,
+            makeExecutionSpace(mesh_config_.numThreads));
+        state->mesh = std::make_unique<Mesh>(mesh_config_, *registry_,
+                                             *state->ctx, rank);
+        state->tagger = make_tagger_(rank);
+        require(state->tagger != nullptr,
+                "tagger factory returned null for rank ", rank);
+        state->driver = std::make_unique<EvolutionDriver>(
+            *state->mesh, *package_, world_, *state->tagger,
+            driver_config_);
+        states_[static_cast<std::size_t>(rank)] = std::move(state);
+
+        EvolutionDriver& driver =
+            *states_[static_cast<std::size_t>(rank)]->driver;
+        driver.initialize();
+        driver.run();
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(error_mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        // Wake peers blocked in collectives or poll loops so the team
+        // unwinds instead of hanging on a dead rank.
+        world_.markFailed();
+    }
+}
+
+void
+RankTeam::run()
+{
+    require(!ran_, "RankTeam::run() may only be called once");
+    ran_ = true;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks_));
+    for (int rank = 0; rank < num_ranks_; ++rank)
+        threads.emplace_back([this, rank] { runRank(rank); });
+    for (std::thread& thread : threads)
+        thread.join();
+    wall_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+    if (first_error_)
+        std::rethrow_exception(first_error_);
+    for (int rank = 0; rank < num_ranks_; ++rank)
+        require(states_[static_cast<std::size_t>(rank)] != nullptr,
+                "rank ", rank, " never constructed its state");
+}
+
+MeshBlock*
+RankTeam::ownedBlock(const LogicalLocation& loc)
+{
+    const int owner = mesh(0).ownerOf(loc);
+    if (owner < 0)
+        return nullptr;
+    return mesh(owner).find(loc);
+}
+
+std::int64_t
+RankTeam::zoneCycles() const
+{
+    // Every rank's driver counts whole-mesh interior cells per cycle
+    // (the replicated structure), so rank 0 already holds the global
+    // figure-of-merit numerator.
+    return states_.front()->driver->zoneCycles();
+}
+
+std::int64_t
+RankTeam::commCells() const
+{
+    std::int64_t cells = 0;
+    for (const auto& state : states_)
+        cells += state->driver->commCells();
+    return cells;
+}
+
+std::int64_t
+RankTeam::commFaces() const
+{
+    std::int64_t faces = 0;
+    for (const auto& state : states_)
+        faces += state->driver->commFaces();
+    return faces;
+}
+
+double
+RankTeam::migratedStorageBytes() const
+{
+    // Replicated on every rank (each replica computes the global sum
+    // over moved blocks); take rank 0's history.
+    double bytes = 0;
+    for (const CycleStats& stats :
+         states_.front()->driver->history())
+        bytes += stats.migratedStorageBytes;
+    return bytes;
+}
+
+std::vector<CycleStats>
+RankTeam::aggregatedHistory() const
+{
+    std::vector<CycleStats> history =
+        states_.front()->driver->history();
+    for (std::size_t r = 1; r < states_.size(); ++r) {
+        const auto& other = states_[r]->driver->history();
+        require(other.size() == history.size(),
+                "rank ", r, " recorded ", other.size(),
+                " cycles, rank 0 recorded ", history.size());
+        for (std::size_t c = 0; c < history.size(); ++c) {
+            history[c].wireCells += other[c].wireCells;
+            history[c].wireFaces += other[c].wireFaces;
+        }
+    }
+    return history;
+}
+
+void
+RankTeam::mergeInstrumentation(KernelProfiler* profiler,
+                               MemoryTracker* tracker) const
+{
+    for (const auto& state : states_) {
+        if (profiler)
+            profiler->merge(state->profiler);
+        if (tracker)
+            tracker->merge(state->tracker);
+    }
+}
+
+} // namespace vibe

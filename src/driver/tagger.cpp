@@ -13,7 +13,7 @@ GradientTagger::tagAll(Mesh& mesh, double /*time*/,
 {
     const ExecContext& ctx = mesh.ctx();
     PhaseScope scope(ctx.profiler(), "Refinement::Tag");
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         block->setTag(package_->tagBlock(*block, ctx));
         // CheckAllRefinement walks every package with scalar heuristics
@@ -44,7 +44,7 @@ SphericalWaveTagger::tagAll(Mesh& mesh, double time,
     // Same kernel work the gradient criterion would launch per block.
     const KernelCosts tag_costs{120.0, 1.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         recordKernel(ctx, "FirstDerivative",
                      static_cast<double>(shape.interiorCells()),

@@ -97,7 +97,12 @@ TaskList::executeSerial(const TaskExecOptions& options)
 {
     std::size_t done = 0;
     int stalled_passes = 0;
-    for (int pass = 0; pass < options.max_passes && done < tasks_.size();
+    const auto stall_deadline =
+        Clock::now() +
+        std::chrono::duration<double>(options.external_stall_seconds);
+    for (int pass = 0;
+         (options.external_progress || pass < options.max_passes) &&
+         done < tasks_.size();
          ++pass) {
         bool any_ran = false;
         std::size_t completed_this_pass = 0;
@@ -131,12 +136,27 @@ TaskList::executeSerial(const TaskExecOptions& options)
         }
         // Progress stall: tasks ran but only ever returned Iterate. A
         // permanently-blocked polling task must be named, not burn
-        // every remaining pass into a generic pass-bound failure.
+        // every remaining pass into a generic pass-bound failure. When
+        // progress can come from a peer rank's thread, pass counts say
+        // nothing — yield and fall back to a wall-clock bound.
         if (any_ran && completed_this_pass == 0) {
-            if (++stalled_passes >= options.stall_passes)
+            if (options.external_progress) {
+                if (options.external_abort && options.external_abort())
+                    panic("task list aborted: a peer rank failed; "
+                          "incomplete tasks: ",
+                          incompleteNames());
+                if (Clock::now() >= stall_deadline)
+                    panic("no task completed within ",
+                          options.external_stall_seconds,
+                          "s while waiting on peer ranks; stuck "
+                          "polling tasks: ",
+                          incompleteNames());
+                std::this_thread::yield();
+            } else if (++stalled_passes >= options.stall_passes) {
                 panic("no task completed in ", stalled_passes,
                       " consecutive passes; stuck polling tasks: ",
                       incompleteNames());
+            }
         } else {
             stalled_passes = 0;
         }
@@ -167,6 +187,9 @@ TaskList::executeThreaded(const TaskExecOptions& options,
         std::size_t inflight_fresh = 0;
         std::uint64_t idle_polls = 0;
         std::uint64_t idle_limit = 0;
+        bool external_progress = false;
+        Clock::time_point stall_deadline;
+        const std::function<bool()>* external_abort = nullptr;
         bool failed = false;
         std::exception_ptr error;
 
@@ -188,6 +211,13 @@ TaskList::executeThreaded(const TaskExecOptions& options,
     state.iterated.assign(n, 0);
     state.idle_limit =
         static_cast<std::uint64_t>(options.stall_passes) * n + 64;
+    state.external_progress = options.external_progress;
+    state.stall_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.external_stall_seconds));
+    if (options.external_abort)
+        state.external_abort = &options.external_abort;
     for (std::size_t id = 0; id < n; ++id) {
         state.waiting[id] = static_cast<int>(tasks_[id].deps.size());
         for (TaskId dep : tasks_[id].deps)
@@ -264,10 +294,29 @@ TaskList::executeThreaded(const TaskExecOptions& options,
             st.iterated[id] = 1;
             st.ready.push_back(id);
             if (st.inflight_fresh == 0) {
-                // Every in-flight task is a known repeat-poller, so
-                // nothing anywhere can deliver the messages these
-                // polls wait for; if this keeps up they are stuck.
-                if (++st.idle_polls > st.idle_limit) {
+                // Every in-flight task is a known repeat-poller. With
+                // external progress a peer rank's thread may still
+                // deliver what these polls wait for, so only the wall
+                // clock can call it stuck; otherwise nothing anywhere
+                // can, and a bounded poll count suffices.
+                if (st.external_progress) {
+                    if (st.external_abort && (*st.external_abort)()) {
+                        st.failLocked(std::make_exception_ptr(PanicError(
+                            detail::concat(
+                                "task list aborted: a peer rank "
+                                "failed; incomplete tasks: ",
+                                list.incompleteNames()))));
+                        return;
+                    }
+                    if (Clock::now() >= st.stall_deadline) {
+                        st.failLocked(std::make_exception_ptr(PanicError(
+                            detail::concat(
+                                "no task completed before the peer-wait "
+                                "deadline; stuck polling tasks: ",
+                                list.incompleteNames()))));
+                        return;
+                    }
+                } else if (++st.idle_polls > st.idle_limit) {
                     st.failLocked(std::make_exception_ptr(PanicError(
                         detail::concat(
                             "no task completed in ", st.idle_polls,

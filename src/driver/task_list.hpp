@@ -67,6 +67,24 @@ struct TaskExecOptions
      * selects the serial scan (bit-exact seed behavior).
      */
     ExecutionSpace* space = nullptr;
+    /**
+     * Progress may arrive from outside this graph (another rank's
+     * driver thread delivering mailbox messages). Zero-completion
+     * scans then yield the CPU instead of counting toward the stall
+     * panic, the pass bound is lifted, and a genuinely stuck graph is
+     * detected by wall clock (`external_stall_seconds`) rather than by
+     * pass count — a poll loop cannot know how long a peer needs.
+     */
+    bool external_progress = false;
+    /** Wall-clock stall bound when external_progress is set. */
+    double external_stall_seconds = 120.0;
+    /**
+     * Optional fast-abort probe for external_progress mode: polled on
+     * zero-completion scans; returning true panics immediately (a peer
+     * rank failed — nothing will ever deliver) instead of burning the
+     * full wall-clock stall bound.
+     */
+    std::function<bool()> external_abort;
 };
 
 /**

@@ -211,4 +211,14 @@ envNumThreads(int fallback)
     return threads >= 1 ? threads : fallback;
 }
 
+int
+envNumRanks(int fallback)
+{
+    const char* value = std::getenv("VIBE_NUM_RANKS");
+    if (!value || !*value)
+        return fallback;
+    const int ranks = std::atoi(value);
+    return ranks >= 1 ? ranks : fallback;
+}
+
 } // namespace vibe

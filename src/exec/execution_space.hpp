@@ -117,4 +117,11 @@ const std::shared_ptr<ExecutionSpace>& sharedSerialSpace();
  */
 int envNumThreads(int fallback = 1);
 
+/**
+ * Rank count requested via the VIBE_NUM_RANKS environment variable, or
+ * `fallback` when unset/invalid. The CI matrix uses it to route the
+ * rank-equivalence fixtures through a specific team size.
+ */
+int envNumRanks(int fallback = 1);
+
 } // namespace vibe

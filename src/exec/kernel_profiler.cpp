@@ -167,6 +167,29 @@ KernelProfiler::serialByCategory(const std::string& category) const
 }
 
 void
+KernelProfiler::merge(const KernelProfiler& other)
+{
+    other.sync();
+    sync();
+    for (const auto& [key, stats] : other.main_.kernels) {
+        KernelStats& into = main_.kernels[key];
+        into.launches += stats.launches;
+        into.items += stats.items;
+        into.flops += stats.flops;
+        into.bytes += stats.bytes;
+        into.innermostSum += stats.innermostSum;
+        for (const auto& [rank, items] : stats.itemsByRank)
+            into.itemsByRank[rank] += items;
+    }
+    for (const auto& [key, stats] : other.main_.serial) {
+        SerialStats& into = main_.serial[key];
+        into.items += stats.items;
+        for (const auto& [rank, items] : stats.itemsByRank)
+            into.itemsByRank[rank] += items;
+    }
+}
+
+void
 KernelProfiler::reset()
 {
     sync();

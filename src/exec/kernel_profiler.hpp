@@ -163,6 +163,14 @@ class KernelProfiler
 
     void reset();
 
+    /**
+     * Fold another profiler's aggregated tables into this one (a rank
+     * team merging per-rank profilers into the run-wide report).
+     * Aggregation keys are identical, so merging N per-rank profilers
+     * yields the same tables one shared profiler would have produced.
+     */
+    void merge(const KernelProfiler& other);
+
   private:
     /** One thread's pending aggregation, merged at phase boundaries. */
     struct Buffers

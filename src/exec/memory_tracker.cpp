@@ -102,6 +102,25 @@ MemoryTracker::notePoolMiss(std::size_t bytes)
 }
 
 void
+MemoryTracker::merge(const MemoryTracker& other)
+{
+    other.sync();
+    sync();
+    for (const auto& [label, bytes] : other.current_by_label_) {
+        current_by_label_[label] += bytes;
+        current_ += bytes;
+    }
+    for (const auto& [label, bytes] : other.peak_by_label_)
+        peak_by_label_[label] += bytes;
+    peak_ += other.peak_;
+    allocation_calls_ += other.allocation_calls_;
+    pool_hits_ += other.pool_hits_;
+    pool_misses_ += other.pool_misses_;
+    pool_hit_bytes_ += other.pool_hit_bytes_;
+    pool_miss_bytes_ += other.pool_miss_bytes_;
+}
+
+void
 MemoryTracker::reset()
 {
     sync();

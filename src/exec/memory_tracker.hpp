@@ -107,6 +107,15 @@ class MemoryTracker
 
     void reset();
 
+    /**
+     * Fold another tracker's per-label totals and pool counters into
+     * this one (a rank team merging per-rank trackers). Currents and
+     * allocation counts add exactly; the merged peak is the sum of the
+     * per-rank peaks — an upper bound on the true team-wide high-water
+     * mark, since rank peaks need not coincide in time.
+     */
+    void merge(const MemoryTracker& other);
+
   private:
     /** Deltas pending from one non-owner thread. */
     struct Pending

@@ -7,7 +7,10 @@ namespace vibe {
 void
 MeshBlockPack::rebuild(Mesh& mesh)
 {
-    const std::size_t nb = mesh.numBlocks();
+    // Pack only the blocks this replica steps: every block on the
+    // classic mesh, the owned shard on a rank-sharded replica (Shadow
+    // blocks have no arrays to view).
+    const std::size_t nb = mesh.ownedBlocks().size();
     shape_ = mesh.config().blockShape();
     blocks_.clear();
     views_.clear();
@@ -16,8 +19,7 @@ MeshBlockPack::rebuild(Mesh& mesh)
     views_.reserve(nb);
     ranks_.reserve(nb);
 
-    for (const auto& block_ptr : mesh.blocks()) {
-        MeshBlock* block = block_ptr.get();
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         BlockPackView view;
         view.cons = &block->cons();
         view.cons0 = &block->cons0();

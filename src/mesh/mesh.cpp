@@ -29,6 +29,7 @@ MeshConfig::fromParams(const ParameterInput& pin)
     config.numThreads = pin.getInt("exec", "num_threads", 1);
     config.useMemoryPool = pin.getBool("mesh", "use_memory_pool", true);
     config.packInterior = pin.getBool("exec", "pack_interior", false);
+    config.numRanks = pin.getInt("exec", "num_ranks", 1);
     config.validate();
     return config;
 }
@@ -46,6 +47,8 @@ MeshConfig::validate() const
         fatal("#AMR Levels must be at least 1 (1 = uniform mesh)");
     if (numThreads < 1)
         fatal("exec/num_threads must be at least 1, got ", numThreads);
+    if (numRanks < 1)
+        fatal("exec/num_ranks must be at least 1, got ", numRanks);
     // §II-F: the total mesh size in each dimension must be an exact
     // multiple of the corresponding MeshBlock size.
     if (nx1 % blockNx1 != 0)
@@ -99,11 +102,19 @@ MeshConfig::blockShape() const
 }
 
 Mesh::Mesh(const MeshConfig& config, const VariableRegistry& registry,
-           const ExecContext& ctx)
+           const ExecContext& ctx, int shard_rank)
     : config_(config), registry_(&registry), ctx_(&ctx),
-      tree_(config.treeConfig())
+      shard_rank_(shard_rank), tree_(config.treeConfig())
 {
     config_.validate();
+    if (shard_rank_ >= 0) {
+        require(shard_rank_ < config_.numRanks,
+                "shard rank ", shard_rank_, " out of range for ",
+                config_.numRanks, " ranks");
+        require(ctx_->executing(),
+                "rank-sharded execution requires numeric mode; counting "
+                "studies model rank counts through the platform config");
+    }
 
     // Storage recycling only matters when arrays are materialized;
     // counting-mode blocks register byte counts without backing stores.
@@ -138,6 +149,12 @@ Mesh::Mesh(const MeshConfig& config, const VariableRegistry& registry,
 
     for (const auto& loc : tree_.leavesZOrder())
         blocks_.push_back(makeBlock(loc));
+    // Sharded replicas create Shadow blocks; every block starts on
+    // rank 0 (the classic initial assignment), so replica 0 now
+    // materializes the whole base grid and the first load balance
+    // migrates the shards onto their owners.
+    for (const auto& block : blocks_)
+        realizeBlock(*block);
     renumber();
     rebuildNeighbors();
 }
@@ -145,10 +162,14 @@ Mesh::Mesh(const MeshConfig& config, const VariableRegistry& registry,
 std::unique_ptr<MeshBlock>
 Mesh::makeBlock(const LogicalLocation& loc)
 {
+    // In a sharded replica ownership is unknown until the caller
+    // assigns a rank, so blocks are born Shadow and realizeBlock()
+    // materializes the owned ones.
     auto block = std::make_unique<MeshBlock>(
         loc, config_.blockShape(), geometryFor(loc), *registry_, *ctx_,
-        /*own_recon=*/!config_.optimizeAuxMemory, pool_.get());
-    if (config_.optimizeAuxMemory && ctx_->executing()) {
+        /*own_recon=*/!config_.optimizeAuxMemory, pool_.get(),
+        /*shadow=*/sharded());
+    if (!sharded() && config_.optimizeAuxMemory && ctx_->executing()) {
         RealArray4* l[3] = {&shared_recon_l_[0], &shared_recon_l_[1],
                             &shared_recon_l_[2]};
         RealArray4* r[3] = {&shared_recon_r_[0], &shared_recon_r_[1],
@@ -156,6 +177,48 @@ Mesh::makeBlock(const LogicalLocation& loc)
         block->lendRecon(l, r);
     }
     return block;
+}
+
+void
+Mesh::realizeBlock(MeshBlock& block)
+{
+    if (!sharded() || block.rank() != shard_rank_ ||
+        block.mode() != DataMode::Shadow)
+        return;
+    block.materialize(*ctx_, pool_.get());
+    if (config_.optimizeAuxMemory && ctx_->executing()) {
+        RealArray4* l[3] = {&shared_recon_l_[0], &shared_recon_l_[1],
+                            &shared_recon_l_[2]};
+        RealArray4* r[3] = {&shared_recon_r_[0], &shared_recon_r_[1],
+                            &shared_recon_r_[2]};
+        block.lendRecon(l, r);
+    }
+}
+
+std::vector<MeshBlock*>
+Mesh::ownedBlocks(int rank) const
+{
+    std::vector<MeshBlock*> owned;
+    for (const auto& block : blocks_)
+        if (block->rank() == rank)
+            owned.push_back(block.get());
+    return owned;
+}
+
+int
+Mesh::ownerOf(const LogicalLocation& loc) const
+{
+    auto it = loc_to_gid_.find(loc);
+    return it == loc_to_gid_.end() ? -1 : blocks_[it->second]->rank();
+}
+
+void
+Mesh::refreshOwnership()
+{
+    owned_blocks_.clear();
+    for (const auto& block : blocks_)
+        if (!sharded() || block->rank() == shard_rank_)
+            owned_blocks_.push_back(block.get());
 }
 
 MeshBlock*
@@ -234,6 +297,7 @@ Mesh::applyTreeUpdate(const BlockTree::UpdateResult& update,
                     auto child = makeBlock(parent_loc.child(o1, o2, o3));
                     child->setRank(entry.parent->rank());
                     child->setCreatedCycle(current_cycle);
+                    realizeBlock(*child);
                     entry.children.push_back(child.get());
                     blocks_.push_back(std::move(child));
                 }
@@ -258,6 +322,7 @@ Mesh::applyTreeUpdate(const BlockTree::UpdateResult& update,
         auto parent = makeBlock(parent_loc);
         parent->setRank(entry.children.front()->rank());
         parent->setCreatedCycle(current_cycle);
+        realizeBlock(*parent);
         entry.parent = parent.get();
         blocks_.push_back(std::move(parent));
         restructure.derefined.push_back(std::move(entry));
@@ -296,6 +361,7 @@ Mesh::renumber()
         blocks_[i]->setGid(static_cast<int>(i));
         loc_to_gid_.emplace(blocks_[i]->loc(), static_cast<int>(i));
     }
+    refreshOwnership();
     recordSerial(*ctx_, "block_list_rebuild",
                  static_cast<double>(blocks_.size()));
 }

@@ -68,6 +68,16 @@ struct MeshConfig
      * it wins exactly in the small-block regime of fig05.
      */
     bool packInterior = false;
+    /**
+     * Simulated MPI ranks executing concurrently (`<exec> num_ranks`):
+     * 1 runs the classic single-driver loop; >1 selects rank-sharded
+     * execution, where a RankTeam launches one driver per rank over a
+     * disjoint shard of blocks and all cross-rank coupling flows
+     * through RankWorld mailboxes and collectives (§V measured mode).
+     * Requires numeric execution — counting-mode studies model rank
+     * counts through the platform configuration instead.
+     */
+    int numRanks = 1;
 
     /** Read <mesh>/<meshblock>/<amr> sections of an input deck. */
     static MeshConfig fromParams(const ParameterInput& pin);
@@ -107,9 +117,16 @@ class Mesh
      *
      * @param registry Variable declarations; must outlive the mesh.
      * @param ctx      Execution context; must outlive the mesh.
+     * @param shard_rank This replica's rank in a rank-sharded team, or
+     *        -1 (the default) for the classic single-address-space
+     *        mesh. A sharded replica holds the full replicated block
+     *        *structure* but materializes storage only for blocks it
+     *        owns; every other block is a Shadow. All blocks start on
+     *        rank 0 (as in the classic path); the first load balance
+     *        migrates real storage onto its owners.
      */
     Mesh(const MeshConfig& config, const VariableRegistry& registry,
-         const ExecContext& ctx);
+         const ExecContext& ctx, int shard_rank = -1);
 
     const MeshConfig& config() const { return config_; }
     const VariableRegistry& registry() const { return *registry_; }
@@ -128,6 +145,40 @@ class Mesh
 
     /** Block at a logical location, or nullptr if not a current leaf. */
     MeshBlock* find(const LogicalLocation& loc);
+
+    // --- Rank-ownership view ------------------------------------------
+
+    /** True when this mesh is one replica of a rank-sharded team. */
+    bool sharded() const { return shard_rank_ >= 0; }
+    /** This replica's rank (-1 for the classic mesh). */
+    int shardRank() const { return shard_rank_; }
+    /** Rank used for collective participation (0 on a classic mesh). */
+    int collectiveRank() const { return shard_rank_ < 0 ? 0 : shard_rank_; }
+
+    /**
+     * Blocks this replica steps, in gid order: the owned shard of a
+     * sharded mesh, or every block of a classic mesh. Valid until the
+     * next restructure or ownership change.
+     */
+    const std::vector<MeshBlock*>& ownedBlocks() const
+    {
+        return owned_blocks_;
+    }
+
+    /** Blocks assigned to `rank`, in gid order (any replica's view). */
+    std::vector<MeshBlock*> ownedBlocks(int rank) const;
+
+    /**
+     * Owner rank of the block at `loc`, or -1 if `loc` is not a
+     * current leaf.
+     */
+    int ownerOf(const LogicalLocation& loc) const;
+
+    /**
+     * Rebuild the owned-block view after rank assignments changed
+     * (load balance). Called automatically on every renumber.
+     */
+    void refreshOwnership();
 
     /** Neighbor list of block `gid` (valid until next restructure). */
     const std::vector<NeighborBlock>& neighbors(int gid) const
@@ -198,6 +249,13 @@ class Mesh
     BlockMemoryPool* memoryPool() { return pool_.get(); }
     const BlockMemoryPool* memoryPool() const { return pool_.get(); }
 
+    /**
+     * Materialize a sharded replica's block if this replica owns it
+     * (rank just assigned by applyTreeUpdate or migration). No-op on a
+     * classic mesh, whose blocks are born materialized.
+     */
+    void realizeBlock(MeshBlock& block);
+
   private:
     std::unique_ptr<MeshBlock> makeBlock(const LogicalLocation& loc);
     /** Sort blocks in Z-order, renumber gids, refresh the index. */
@@ -206,10 +264,12 @@ class Mesh
     MeshConfig config_;
     const VariableRegistry* registry_;
     const ExecContext* ctx_;
+    int shard_rank_ = -1;
     BlockTree tree_;
     /** Declared before blocks_ so every block dies before the pool. */
     std::unique_ptr<BlockMemoryPool> pool_;
     std::vector<std::unique_ptr<MeshBlock>> blocks_;
+    std::vector<MeshBlock*> owned_blocks_;
     std::unordered_map<LogicalLocation, int, LogicalLocationHash>
         loc_to_gid_;
     std::vector<std::vector<NeighborBlock>> neighbor_lists_;

@@ -26,8 +26,14 @@ namespace vibe {
 
 class BlockMemoryPool;
 
-/** Whether block data is materialized or only accounted (counting mode). */
-enum class DataMode { Real, Virtual };
+/**
+ * Whether block data is materialized, only accounted (counting mode),
+ * or absent entirely (a rank-sharded replica's view of a block owned
+ * by another rank: structure and metadata are replicated, storage is
+ * not — any attempt to read its arrays is a bug, which is what makes
+ * direct cross-rank memory access structurally impossible).
+ */
+enum class DataMode { Real, Virtual, Shadow };
 
 /** Physical extent and cell widths of one block. */
 struct BlockGeometry
@@ -101,10 +107,15 @@ class MeshBlock
      *                  is read (fluxes, recon scratch, dudt) skip the
      *                  zero-init pass entirely. Must outlive the block.
      */
+    /**
+     * @param shadow Create without storage or tracker registration (a
+     *               rank-sharded replica's non-owned block); the block
+     *               can be materialize()d later when ownership arrives.
+     */
     MeshBlock(const LogicalLocation& loc, const BlockShape& shape,
               const BlockGeometry& geom, const VariableRegistry& registry,
               const ExecContext& ctx, bool own_recon,
-              BlockMemoryPool* pool = nullptr);
+              BlockMemoryPool* pool = nullptr, bool shadow = false);
     ~MeshBlock();
 
     MeshBlock(const MeshBlock&) = delete;
@@ -162,11 +173,45 @@ class MeshBlock
     /** Lend shared reconstruction scratch to this block. */
     void lendRecon(RealArray4* l[3], RealArray4* r[3]);
 
-    /** Bytes this block accounts for (identical in both data modes). */
+    /** Bytes this block accounts for (identical in all data modes). */
     std::size_t dataBytes() const { return data_bytes_; }
+
+    // --- Rank-sharded storage lifecycle -------------------------------
+
+    /**
+     * Allocate storage for a Shadow block (ownership arrived: a
+     * migration landed here, or a restructure created it on its owner
+     * rank). Draws from `pool` when given — the destination rank's
+     * BlockMemoryPool — and registers with the context's tracker.
+     * State-carrying arrays are zeroed exactly as at construction.
+     */
+    void materialize(const ExecContext& ctx, BlockMemoryPool* pool);
+
+    /**
+     * Release all storage (back into the pool it came from) and drop
+     * the tracker registrations: the block's data now lives on another
+     * rank and this replica keeps structure/metadata only.
+     */
+    void dematerialize();
+
+    /**
+     * Serialize the state that must survive a migration — the full
+     * conserved and derived arrays, ghosts included — into a flat
+     * payload (bitwise copies, so a migrated block is indistinguishable
+     * from one that never moved). Scratch (cons0/dudt/flux/recon) is
+     * rebuilt every stage and does not travel.
+     */
+    std::vector<double> serializeState() const;
+
+    /** Inverse of serializeState on a freshly materialized block. */
+    void deserializeState(const std::vector<double>& payload);
+
+    /** Elements serializeState produces for this block's shape. */
+    std::size_t serializedStateCount() const;
 
   private:
     void allocateAll(const ExecContext& ctx, bool own_recon);
+    void releaseAll();
     void registerAllocation(const ExecContext& ctx,
                             const std::string& label, std::size_t bytes);
 
@@ -177,6 +222,7 @@ class MeshBlock
     MemoryTracker* tracker_;
     BlockMemoryPool* pool_ = nullptr;
     DataMode mode_;
+    bool own_recon_ = true;
 
     int gid_ = -1;
     int rank_ = 0;

@@ -36,4 +36,23 @@ void restrictChildToParent(const ExecContext& ctx, const MeshBlock& child,
 void prolongateParentToChild(const ExecContext& ctx,
                              const MeshBlock& parent, MeshBlock& child);
 
+/**
+ * Restrict the full interior of `child` into a flat coarse-octant
+ * payload, for shipping to the parent's owner rank when a derefining
+ * sibling set spans ranks. Arithmetic and iteration order are exactly
+ * restrictChildToParent's, so a remote restriction is bitwise
+ * identical to a local one. Layout: (n, kc, jc, ic), ic fastest.
+ */
+std::vector<double> restrictChildOctant(const ExecContext& ctx,
+                                        const MeshBlock& child);
+
+/**
+ * Write a received coarse-octant payload into the region of `parent`
+ * covered by the child at `child_loc` (the receiving half of a
+ * cross-rank restriction).
+ */
+void applyRestrictedOctant(const ExecContext& ctx, MeshBlock& parent,
+                           const LogicalLocation& child_loc,
+                           const std::vector<double>& payload);
+
 } // namespace vibe

@@ -290,7 +290,7 @@ AdvectionPackage::fillDerived(Mesh& mesh) const
     // e = 0.5 phi^2: 1 read, 1 write, 2 flops per cell.
     const KernelCosts costs{2.0, 2.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         // String-based variable extraction, the §VIII-A serial
         // overhead every package pays per block.
@@ -344,7 +344,7 @@ AdvectionPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
     const KernelCosts costs{10.0, 3.0 * sizeof(double)};
 
     double dt = fallback_dt / config_.cfl;
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         double block_dt = dt;
         const BlockGeometry& g = block->geom();
@@ -367,8 +367,10 @@ AdvectionPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
         dt = std::min(dt, block_dt);
         recordSerial(ctx, "dt_reduce", 1.0);
     }
-    // Global min across ranks.
-    world.allReduce(sizeof(double));
+    // Global min across ranks: exact under any combination order, so
+    // the collective dt is bitwise the 1-rank dt.
+    dt = world.allReduceValue(mesh.collectiveRank(), dt, CollOp::Min,
+                              sizeof(double));
     recordSerial(ctx, "collective", 1.0);
     return config_.cfl * dt;
 }
@@ -408,7 +410,8 @@ AdvectionPackage::estimateTimestepPack(Mesh& mesh, MeshBlockPack& pack,
     for (int b = 0; b < nb; ++b)
         recordSerialAt(ctx, "EstimateTimestep", pack.ranks()[b],
                        "dt_reduce", 1.0);
-    world.allReduce(sizeof(double));
+    dt = world.allReduceValue(mesh.collectiveRank(), dt, CollOp::Min,
+                              sizeof(double));
     recordSerial(ctx, "collective", 1.0);
     return config_.cfl * dt;
 }
@@ -421,18 +424,24 @@ AdvectionPackage::massHistory(Mesh& mesh, RankWorld& world) const
     const BlockShape s = mesh.config().blockShape();
     const KernelCosts costs{2.0, 1.0 * sizeof(double)};
 
-    double mass = 0.0;
-    for (const auto& block : mesh.blocks()) {
+    // Gid-ordered per-block fold: bitwise independent of the rank
+    // decomposition (see foldBlockPartials).
+    std::vector<BlockPartial> partials;
+    partials.reserve(mesh.ownedBlocks().size());
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         RealArray4& cons = block->cons();
         const double vol = block->geom().cellVolume();
-        parReduce(ctx, "MassHistory", costs, ReduceOp::Sum, mass,
+        double block_mass = 0.0;
+        parReduce(ctx, "MassHistory", costs, ReduceOp::Sum, block_mass,
                   s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
                   [&](int k, int j, int i, double& acc) {
                       acc += cons(0, k, j, i) * vol;
                   });
+        partials.push_back({block->gid(), block_mass});
     }
-    world.allReduce(sizeof(double));
+    const double mass =
+        foldBlockPartials(mesh, world, std::move(partials));
     recordSerial(ctx, "collective", 1.0);
     return mass;
 }

@@ -89,7 +89,7 @@ initialConditionFromName(const std::string& name)
 void
 BurgersPackage::initialize(Mesh& mesh, InitialCondition ic) const
 {
-    for (const auto& block : mesh.blocks())
+    for (MeshBlock* block : mesh.ownedBlocks())
         initializeBlock(mesh.ctx(), *block, ic);
 }
 
@@ -328,7 +328,7 @@ BurgersPackage::fillDerived(Mesh& mesh) const
     // d = 0.5 q0 (u.u): 5 reads, 1 write, ~6 flops per cell.
     const KernelCosts costs{6.0, 6.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         // String-based variable extraction (GetVariablesByFlag) is the
         // serial overhead the paper highlights (§VIII-A).
@@ -392,7 +392,7 @@ BurgersPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
     const KernelCosts costs{10.0, 3.0 * sizeof(double)};
 
     double dt = fallback_dt / config_.cfl;
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         double block_dt = dt;
         RealArray4& cons = block->cons();
@@ -416,8 +416,11 @@ BurgersPackage::estimateTimestep(Mesh& mesh, RankWorld& world,
         dt = std::min(dt, block_dt);
         recordSerial(ctx, "dt_reduce", 1.0);
     }
-    // Global min across ranks.
-    world.allReduce(sizeof(double));
+    // Global min across ranks: a real rendezvous on a rank team (min
+    // is exact under any combination order, so the collective dt is
+    // bitwise the 1-rank dt), accounting-only on the classic path.
+    dt = world.allReduceValue(mesh.collectiveRank(), dt, CollOp::Min,
+                              sizeof(double));
     recordSerial(ctx, "collective", 1.0);
     return config_.cfl * dt;
 }
@@ -461,8 +464,9 @@ BurgersPackage::estimateTimestepPack(Mesh& mesh, MeshBlockPack& pack,
     for (int b = 0; b < nb; ++b)
         recordSerialAt(ctx, "EstimateTimestep", pack.ranks()[b],
                        "dt_reduce", 1.0);
-    // Global min across ranks.
-    world.allReduce(sizeof(double));
+    // Global min across ranks (exact; see estimateTimestep).
+    dt = world.allReduceValue(mesh.collectiveRank(), dt, CollOp::Min,
+                              sizeof(double));
     recordSerial(ctx, "collective", 1.0);
     return config_.cfl * dt;
 }
@@ -475,18 +479,26 @@ BurgersPackage::massHistory(Mesh& mesh, RankWorld& world) const
     const BlockShape s = mesh.config().blockShape();
     const KernelCosts costs{2.0, 1.0 * sizeof(double)};
 
-    double mass = 0.0;
-    for (const auto& block : mesh.blocks()) {
+    // Per-block partials folded in global gid order (foldBlockPartials)
+    // so the sum is bitwise independent of how blocks shard over ranks
+    // — plain running accumulation would entangle the fold with the
+    // decomposition.
+    std::vector<BlockPartial> partials;
+    partials.reserve(mesh.ownedBlocks().size());
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         RealArray4& cons = block->cons();
         const double vol = block->geom().cellVolume();
-        parReduce(ctx, "MassHistory", costs, ReduceOp::Sum, mass, s.ks(),
-                  s.ke(), s.js(), s.je(), s.is(), s.ie(),
+        double block_mass = 0.0;
+        parReduce(ctx, "MassHistory", costs, ReduceOp::Sum, block_mass,
+                  s.ks(), s.ke(), s.js(), s.je(), s.is(), s.ie(),
                   [&](int k, int j, int i, double& acc) {
                       acc += cons(3, k, j, i) * vol;
                   });
+        partials.push_back({block->gid(), block_mass});
     }
-    world.allReduce(sizeof(double));
+    const double mass =
+        foldBlockPartials(mesh, world, std::move(partials));
     recordSerial(ctx, "collective", 1.0);
     return mass;
 }

@@ -1,6 +1,25 @@
 #include "pkg/package_descriptor.hpp"
 
+#include <algorithm>
+
 namespace vibe {
+
+double
+foldBlockPartials(Mesh& mesh, RankWorld& world,
+                  std::vector<BlockPartial> partials)
+{
+    std::vector<BlockPartial> gathered = world.allGatherVec(
+        mesh.collectiveRank(), std::move(partials),
+        static_cast<double>(sizeof(double)), CollAccount::Reduce);
+    std::sort(gathered.begin(), gathered.end(),
+              [](const BlockPartial& a, const BlockPartial& b) {
+                  return a.gid < b.gid;
+              });
+    double total = 0.0;
+    for (const BlockPartial& partial : gathered)
+        total += partial.value;
+    return total;
+}
 
 // Whole-mesh sweeps default to the per-block loop in gid order — the
 // exact sequence the pre-package driver ran, so packages only override
@@ -9,21 +28,21 @@ namespace vibe {
 void
 PackageDescriptor::initialize(Mesh& mesh) const
 {
-    for (const auto& block : mesh.blocks())
+    for (MeshBlock* block : mesh.ownedBlocks())
         initializeBlock(mesh.ctx(), *block);
 }
 
 void
 PackageDescriptor::calculateFluxes(Mesh& mesh) const
 {
-    for (const auto& block : mesh.blocks())
+    for (MeshBlock* block : mesh.ownedBlocks())
         calculateFluxesBlock(mesh, *block);
 }
 
 void
 PackageDescriptor::fluxDivergence(Mesh& mesh) const
 {
-    for (const auto& block : mesh.blocks())
+    for (MeshBlock* block : mesh.ownedBlocks())
         fluxDivergenceBlock(mesh, *block);
 }
 

@@ -26,12 +26,32 @@
  */
 #pragma once
 
+#include "comm/rank_world.hpp"
 #include "mesh/mesh.hpp"
 
 namespace vibe {
 
 class MeshBlockPack;
-class RankWorld;
+
+/** One block's contribution to a history reduction (wire format). */
+struct BlockPartial
+{
+    int gid = 0;
+    double value = 0;
+};
+
+/**
+ * Deterministic cross-rank sum for history reductions: per-block
+ * partials are all-gathered (a real rendezvous on a rank team, a
+ * pass-through on the classic path, both accounted as the AllReduce
+ * the real code issues) and folded in global gid order. Because each
+ * block's partial is computed identically wherever the block lives,
+ * the fold is bitwise independent of the rank decomposition — the
+ * property the rank-equivalence tests pin down. Packages share this
+ * helper so no package can diverge.
+ */
+double foldBlockPartials(Mesh& mesh, RankWorld& world,
+                         std::vector<BlockPartial> partials);
 
 /**
  * Abstract physics package: variable registrations plus the driver

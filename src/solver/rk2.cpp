@@ -37,7 +37,7 @@ weightedSumBlock(Mesh& mesh, MeshBlock& block, double wa, double wb,
 void
 weightedSum(Mesh& mesh, double wa, double wb, double wc, double dt)
 {
-    for (const auto& block : mesh.blocks())
+    for (MeshBlock* block : mesh.ownedBlocks())
         weightedSumBlock(mesh, *block, wa, wb, wc, dt);
 }
 
@@ -83,7 +83,7 @@ saveState(Mesh& mesh)
     const int ncomp = mesh.registry().ncompConserved();
     const KernelCosts costs{0.0, ncomp * 2.0 * sizeof(double)};
 
-    for (const auto& block : mesh.blocks()) {
+    for (MeshBlock* block : mesh.ownedBlocks()) {
         ctx.setCurrentRank(block->rank());
         RealArray4& cons = block->cons();
         RealArray4& cons0 = block->cons0();

@@ -39,7 +39,7 @@ knownKnobs()
         {"meshblock", {"nx1", "nx2", "nx3"}},
         {"amr",
          {"num_levels", "derefine_gap", "refine_every", "lb_every"}},
-        {"exec", {"num_threads", "pack_interior"}},
+        {"exec", {"num_threads", "pack_interior", "num_ranks"}},
         {"driver", {"ncycles", "tlim", "fixed_dt"}},
         {"comm", {"randomize_buffer_keys"}},
         {"job", {"package"}},
