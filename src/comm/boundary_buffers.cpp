@@ -261,6 +261,7 @@ BoundaryBufferCache::rebuild()
     recordSerial(mesh_->ctx(), "buffer_cache_metadata",
                  static_cast<double>(bounds_.size() + flux_.size()));
 
+    LockGuard lock(hook_mutex_);
     if (rebuild_hook_)
         rebuild_hook_();
 }

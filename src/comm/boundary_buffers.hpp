@@ -164,6 +164,7 @@ class BoundaryBufferCache
      */
     void setRebuildHook(std::function<void()> hook)
     {
+        LockGuard lock(hook_mutex_);
         rebuild_hook_ = std::move(hook);
     }
 
@@ -183,7 +184,17 @@ class BoundaryBufferCache
     std::vector<std::vector<int>> flux_send_index_;
     std::vector<std::vector<int>> flux_recv_index_;
     std::uint64_t rebuild_count_ = 0;
-    std::function<void()> rebuild_hook_;
+    /**
+     * Guards hook (re)registration against the rebuild path invoking
+     * it: the driver installs the pack-invalidation hook after
+     * construction, and under rank sharding each replica's cache lives
+     * on its own rank thread — the mutex makes installation safe even
+     * if a future caller registers from outside that thread. The hook
+     * itself runs under the lock; hooks must not call back into the
+     * cache.
+     */
+    Mutex hook_mutex_;
+    std::function<void()> rebuild_hook_ VIBE_GUARDED_BY(hook_mutex_);
 };
 
 } // namespace vibe

@@ -26,17 +26,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "mesh/logical_location.hpp"
 #include "util/logging.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -208,8 +207,22 @@ class RankWorld
     void markFailed();
     bool failed() const { return failed_.load(); }
 
-    const Traffic& traffic() const { return traffic_; }
-    void resetTraffic() { traffic_ = Traffic{}; }
+    /**
+     * Snapshot of the cumulative traffic counters, taken under the
+     * mailbox mutex so it is consistent even while peer-rank threads
+     * are mid-exchange (the counters themselves are only meaningful at
+     * quiescent points, but reading them must never be a data race).
+     */
+    Traffic traffic() const
+    {
+        LockGuard lock(mutex_);
+        return traffic_;
+    }
+    void resetTraffic()
+    {
+        LockGuard lock(mutex_);
+        traffic_ = Traffic{};
+    }
 
   private:
     using Combiner =
@@ -228,19 +241,27 @@ class RankWorld
 
     int nranks_;
     bool concurrent_;
-    mutable std::mutex mutex_;
+    /**
+     * Mailbox mutex. Lock order: a thread holding coll_mutex_ may take
+     * mutex_ (the last rendezvous arrival accounts its collective);
+     * never the reverse.
+     */
+    mutable Mutex mutex_ VIBE_ACQUIRED_AFTER(coll_mutex_);
+    // vibe-lint: allow(ordered-containers) mailboxes_ is never
+    // iterated — delivery order comes from the per-channel FIFO deques,
+    // so the map's hash order cannot feed message order.
     std::unordered_map<ChannelId, std::deque<Message>, ChannelIdHash>
-        mailboxes_;
-    std::size_t pending_total_ = 0;
-    Traffic traffic_;
+        mailboxes_ VIBE_GUARDED_BY(mutex_);
+    std::size_t pending_total_ VIBE_GUARDED_BY(mutex_) = 0;
+    Traffic traffic_ VIBE_GUARDED_BY(mutex_);
 
     // Rendezvous state (own lock: waiters must not stall the mailbox).
-    std::mutex coll_mutex_;
-    std::condition_variable coll_cv_;
-    std::vector<const void*> coll_slots_;
-    std::shared_ptr<void> coll_result_;
-    int coll_arrived_ = 0;
-    std::uint64_t coll_generation_ = 0;
+    Mutex coll_mutex_;
+    CondVar coll_cv_;
+    std::vector<const void*> coll_slots_ VIBE_GUARDED_BY(coll_mutex_);
+    std::shared_ptr<void> coll_result_ VIBE_GUARDED_BY(coll_mutex_);
+    int coll_arrived_ VIBE_GUARDED_BY(coll_mutex_) = 0;
+    std::uint64_t coll_generation_ VIBE_GUARDED_BY(coll_mutex_) = 0;
     std::atomic<bool> failed_{false};
 };
 

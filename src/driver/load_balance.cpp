@@ -36,6 +36,10 @@ loadBalance(Mesh& mesh, RankWorld& world)
 {
     const ExecContext& ctx = mesh.ctx();
     const int nranks = world.nranks();
+    // vibe-lint: allow(owned-blocks) the partitioner is replicated
+    // structure code: every rank walks the full (identical) block list
+    // to compute the same cost split, touching metadata only — never
+    // block storage.
     const auto& blocks = mesh.blocks();
     LoadBalanceStats stats;
     if (blocks.empty())

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "mesh/ownership_audit.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -30,6 +31,10 @@ void
 RankTeam::runRank(int rank)
 {
     try {
+        // In VIBE_AUDIT_OWNERSHIP builds, register this thread as the
+        // rank's driver so every MeshBlock storage access it performs
+        // is checked against block ownership.
+        ownership_audit::ScopedRank audit_rank(rank);
         // Construct everything on this thread: the profiler and
         // tracker take it as their owner (lock-free fast paths), the
         // pool's restructure-path assertions hold, and the execution
@@ -54,7 +59,7 @@ RankTeam::runRank(int rank)
         driver.run();
     } catch (...) {
         {
-            std::lock_guard<std::mutex> lock(error_mutex_);
+            LockGuard lock(error_mutex_);
             if (!first_error_)
                 first_error_ = std::current_exception();
         }
@@ -81,8 +86,14 @@ RankTeam::run()
                         std::chrono::steady_clock::now() - start)
                         .count();
 
-    if (first_error_)
-        std::rethrow_exception(first_error_);
+    // The rank threads have joined; the lock satisfies the analysis.
+    std::exception_ptr error;
+    {
+        LockGuard lock(error_mutex_);
+        error = first_error_;
+    }
+    if (error)
+        std::rethrow_exception(error);
     for (int rank = 0; rank < num_ranks_; ++rank)
         require(states_[static_cast<std::size_t>(rank)] != nullptr,
                 "rank ", rank, " never constructed its state");

@@ -32,13 +32,13 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "driver/evolution_driver.hpp"
 #include "driver/tagger.hpp"
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -149,8 +149,8 @@ class RankTeam
     double wall_seconds_ = 0;
     bool ran_ = false;
 
-    std::mutex error_mutex_;
-    std::exception_ptr first_error_;
+    Mutex error_mutex_;
+    std::exception_ptr first_error_ VIBE_GUARDED_BY(error_mutex_);
 };
 
 } // namespace vibe

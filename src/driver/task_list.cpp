@@ -1,14 +1,13 @@
 #include "driver/task_list.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "exec/execution_space.hpp"
 #include "util/logging.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -173,27 +172,27 @@ TaskList::executeThreaded(const TaskExecOptions& options,
     struct State
     {
         TaskList* list = nullptr;
-        std::mutex mutex;
-        std::condition_variable cv;
-        std::deque<TaskId> ready;
-        std::vector<int> waiting;
+        Mutex mutex;
+        CondVar cv;
+        std::deque<TaskId> ready VIBE_GUARDED_BY(mutex);
+        std::vector<int> waiting VIBE_GUARDED_BY(mutex);
         std::vector<std::vector<TaskId>> dependents;
         /** Tasks that have returned Iterate at least once. */
-        std::vector<char> iterated;
-        std::size_t done = 0;
-        std::size_t inflight = 0;
+        std::vector<char> iterated VIBE_GUARDED_BY(mutex);
+        std::size_t done VIBE_GUARDED_BY(mutex) = 0;
+        std::size_t inflight VIBE_GUARDED_BY(mutex) = 0;
         /** In-flight tasks that have never iterated (can make real
          *  progress: complete, send messages, unblock dependents). */
-        std::size_t inflight_fresh = 0;
-        std::uint64_t idle_polls = 0;
+        std::size_t inflight_fresh VIBE_GUARDED_BY(mutex) = 0;
+        std::uint64_t idle_polls VIBE_GUARDED_BY(mutex) = 0;
         std::uint64_t idle_limit = 0;
         bool external_progress = false;
         Clock::time_point stall_deadline;
         const std::function<bool()>* external_abort = nullptr;
-        bool failed = false;
-        std::exception_ptr error;
+        bool failed VIBE_GUARDED_BY(mutex) = false;
+        std::exception_ptr error VIBE_GUARDED_BY(mutex);
 
-        void failLocked(std::exception_ptr err)
+        void failLocked(std::exception_ptr err) VIBE_REQUIRES(mutex)
         {
             if (!failed) {
                 failed = true;
@@ -206,9 +205,7 @@ TaskList::executeThreaded(const TaskExecOptions& options,
     const std::size_t n = tasks_.size();
     State state;
     state.list = this;
-    state.waiting.assign(n, 0);
     state.dependents.assign(n, {});
-    state.iterated.assign(n, 0);
     state.idle_limit =
         static_cast<std::uint64_t>(options.stall_passes) * n + 64;
     state.external_progress = options.external_progress;
@@ -218,19 +215,26 @@ TaskList::executeThreaded(const TaskExecOptions& options,
                                options.external_stall_seconds));
     if (options.external_abort)
         state.external_abort = &options.external_abort;
-    for (std::size_t id = 0; id < n; ++id) {
-        state.waiting[id] = static_cast<int>(tasks_[id].deps.size());
-        for (TaskId dep : tasks_[id].deps)
-            state.dependents[dep].push_back(static_cast<TaskId>(id));
-        if (state.waiting[id] == 0)
-            state.ready.push_back(static_cast<TaskId>(id));
+    {
+        // No worker is running yet; the lock only makes the guarded
+        // initialization visible to the thread-safety analysis.
+        LockGuard lock(state.mutex);
+        state.waiting.assign(n, 0);
+        state.iterated.assign(n, 0);
+        for (std::size_t id = 0; id < n; ++id) {
+            state.waiting[id] = static_cast<int>(tasks_[id].deps.size());
+            for (TaskId dep : tasks_[id].deps)
+                state.dependents[dep].push_back(static_cast<TaskId>(id));
+            if (state.waiting[id] == 0)
+                state.ready.push_back(static_cast<TaskId>(id));
+        }
     }
 
     auto worker = [](void* body, std::int64_t, std::int64_t, int) {
         State& st = *static_cast<State*>(body);
         TaskList& list = *st.list;
         const std::size_t n = list.tasks_.size();
-        std::unique_lock<std::mutex> lock(st.mutex);
+        UniqueLock lock(st.mutex);
         for (;;) {
             if (st.failed || st.done == n)
                 return;
@@ -339,10 +343,19 @@ TaskList::executeThreaded(const TaskExecOptions& options,
     // so tasks are the sole unit of concurrency.
     space.forEachChunk(space.concurrency(), worker, &state);
 
-    if (state.error)
-        std::rethrow_exception(state.error);
-    require(state.done == n, "threaded task list finished with ",
-            n - state.done, " incomplete tasks: ", incompleteNames());
+    // All workers have joined (forEachChunk is a barrier); the lock is
+    // for the analysis, not for contention.
+    std::exception_ptr error;
+    std::size_t done = 0;
+    {
+        LockGuard lock(state.mutex);
+        error = state.error;
+        done = state.done;
+    }
+    if (error)
+        std::rethrow_exception(error);
+    require(done == n, "threaded task list finished with ", n - done,
+            " incomplete tasks: ", incompleteNames());
 }
 
 } // namespace vibe

@@ -1,14 +1,13 @@
 #include "exec/execution_space.hpp"
 
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -34,21 +33,21 @@ chunkBound(std::int64_t n, int nchunks, int chunk)
 struct ThreadPoolSpace::Impl
 {
     std::vector<std::thread> workers;
-    std::mutex mutex;
-    std::condition_variable start_cv;
-    std::condition_variable done_cv;
+    Mutex mutex;
+    CondVar start_cv;
+    CondVar done_cv;
 
     // Current job, published under `mutex` and identified by
     // `generation` so workers never re-run a launch.
-    ChunkFn fn = nullptr;
-    void* body = nullptr;
-    std::int64_t n = 0;
-    std::uint64_t generation = 0;
-    int remaining = 0;
-    bool stop = false;
-    bool launch_in_flight = false;
+    ChunkFn fn VIBE_GUARDED_BY(mutex) = nullptr;
+    void* body VIBE_GUARDED_BY(mutex) = nullptr;
+    std::int64_t n VIBE_GUARDED_BY(mutex) = 0;
+    std::uint64_t generation VIBE_GUARDED_BY(mutex) = 0;
+    int remaining VIBE_GUARDED_BY(mutex) = 0;
+    bool stop VIBE_GUARDED_BY(mutex) = false;
+    bool launch_in_flight VIBE_GUARDED_BY(mutex) = false;
     /** First exception a worker chunk threw; rethrown on the caller. */
-    std::exception_ptr error;
+    std::exception_ptr error VIBE_GUARDED_BY(mutex);
 };
 
 ThreadPoolSpace::ThreadPoolSpace(int num_threads)
@@ -68,10 +67,9 @@ ThreadPoolSpace::ThreadPoolSpace(int num_threads)
                 void* body;
                 std::int64_t n;
                 {
-                    std::unique_lock<std::mutex> lock(impl.mutex);
-                    impl.start_cv.wait(lock, [&] {
-                        return impl.stop || impl.generation != seen;
-                    });
+                    UniqueLock lock(impl.mutex);
+                    while (!impl.stop && impl.generation == seen)
+                        impl.start_cv.wait(lock);
                     if (impl.stop)
                         return;
                     seen = impl.generation;
@@ -92,7 +90,7 @@ ThreadPoolSpace::ThreadPoolSpace(int num_threads)
                     }
                 }
                 {
-                    std::lock_guard<std::mutex> lock(impl.mutex);
+                    LockGuard lock(impl.mutex);
                     if (error && !impl.error)
                         impl.error = error;
                     if (--impl.remaining == 0)
@@ -106,7 +104,7 @@ ThreadPoolSpace::ThreadPoolSpace(int num_threads)
 ThreadPoolSpace::~ThreadPoolSpace()
 {
     {
-        std::lock_guard<std::mutex> lock(impl_->mutex);
+        LockGuard lock(impl_->mutex);
         impl_->stop = true;
     }
     impl_->start_cv.notify_all();
@@ -134,7 +132,7 @@ ThreadPoolSpace::forEachChunk(std::int64_t n, ChunkFn fn, void* body)
 
     Impl& impl = *impl_;
     {
-        std::lock_guard<std::mutex> lock(impl.mutex);
+        LockGuard lock(impl.mutex);
         // One top-level launch at a time: a second launcher would
         // overwrite this job slot mid-flight and silently corrupt
         // both launches.
@@ -169,7 +167,7 @@ ThreadPoolSpace::forEachChunk(std::int64_t n, ChunkFn fn, void* body)
     tls_inside_launch = false;
     std::exception_ptr error;
     {
-        std::lock_guard<std::mutex> lock(impl.mutex);
+        LockGuard lock(impl.mutex);
         std::swap(error, impl.error);
     }
     if (error)
@@ -180,8 +178,9 @@ void
 ThreadPoolSpace::waitForWorkers()
 {
     Impl& impl = *impl_;
-    std::unique_lock<std::mutex> lock(impl.mutex);
-    impl.done_cv.wait(lock, [&] { return impl.remaining == 0; });
+    UniqueLock lock(impl.mutex);
+    while (impl.remaining != 0)
+        impl.done_cv.wait(lock);
     impl.launch_in_flight = false;
 }
 

@@ -15,9 +15,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -34,7 +35,7 @@ class ThreadLocalRegistry
     {
         void*& slot = tlsSlots()[id_];
         if (!slot) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             slots_.push_back(std::make_unique<T>());
             slot = slots_.back().get();
         }
@@ -50,7 +51,7 @@ class ThreadLocalRegistry
     template <typename Fn>
     void forEach(Fn&& fn) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         for (const auto& slot : slots_)
             fn(*slot);
     }
@@ -62,6 +63,10 @@ class ThreadLocalRegistry
         return ++counter;
     }
 
+    // vibe-lint: allow(ordered-containers) the TLS slot map is lookup
+    // only (keyed by registry id, never iterated), so hash order can
+    // not leak into reduction or merge order — merges walk slots_,
+    // which preserves registration order.
     static std::unordered_map<std::uint64_t, void*>& tlsSlots()
     {
         static thread_local std::unordered_map<std::uint64_t, void*>
@@ -70,8 +75,16 @@ class ThreadLocalRegistry
     }
 
     std::uint64_t id_;
-    mutable std::mutex mutex_;
-    mutable std::vector<std::unique_ptr<T>> slots_;
+    mutable Mutex mutex_;
+    /**
+     * Registered slots. The pointers handed out by local() are stable
+     * (the registry only appends), so a slot's *contents* are not
+     * guarded by this mutex — they are single-writer by construction
+     * (each slot belongs to one thread) and read by forEach only at
+     * quiescent points.
+     */
+    mutable std::vector<std::unique_ptr<T>> slots_
+        VIBE_GUARDED_BY(mutex_);
 };
 
 } // namespace vibe

@@ -11,6 +11,7 @@ std::vector<double>
 BlockMemoryPool::acquire(std::size_t count)
 {
     const std::size_t bytes = count * sizeof(double);
+    LockGuard lock(mutex_);
     auto it = free_.find(count);
     if (it != free_.end() && !it->second.empty()) {
         std::vector<double> storage = std::move(it->second.back());
@@ -37,6 +38,7 @@ BlockMemoryPool::release(std::vector<double>&& storage)
 {
     if (storage.empty())
         return;
+    LockGuard lock(mutex_);
     idle_bytes_ += storage.size() * sizeof(double);
     ++idle_buffers_;
     peak_idle_bytes_ = std::max(peak_idle_bytes_, idle_bytes_);
@@ -46,6 +48,7 @@ BlockMemoryPool::release(std::vector<double>&& storage)
 void
 BlockMemoryPool::trim()
 {
+    LockGuard lock(mutex_);
     free_.clear();
     idle_bytes_ = 0;
     idle_buffers_ = 0;

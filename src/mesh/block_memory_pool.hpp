@@ -19,10 +19,14 @@
  * their storage on destruction, so a steady-state refine/derefine
  * cycle runs entirely on recycled buffers after warm-up.
  *
- * Single-threaded by design: acquisition and release happen on the
- * mesh restructure path, which is serial (the driver restructures
- * between task-graph executions). Hits and misses are mirrored into
- * the MemoryTracker when one is attached.
+ * Acquisition and release happen on the mesh restructure path, which
+ * is serial within a rank (the driver restructures between task-graph
+ * executions) — but under rank sharding every rank thread owns a pool,
+ * and migration materializes into the *destination* rank's pool, so
+ * the buckets are mutex-guarded rather than trusting call-site
+ * discipline; the restructure path is cold enough that the uncontended
+ * lock is free. Hits and misses are mirrored into the MemoryTracker
+ * when one is attached.
  */
 #pragma once
 
@@ -30,6 +34,8 @@
 #include <cstdint>
 #include <map>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace vibe {
 
@@ -72,24 +78,46 @@ class BlockMemoryPool
     void trim();
 
     /** Requests served from the free list. */
-    std::uint64_t poolHits() const { return hits_; }
+    std::uint64_t poolHits() const
+    {
+        LockGuard lock(mutex_);
+        return hits_;
+    }
     /** Requests that fell through to the allocator. */
-    std::uint64_t freshAllocs() const { return fresh_; }
+    std::uint64_t freshAllocs() const
+    {
+        LockGuard lock(mutex_);
+        return fresh_;
+    }
     /** Bytes currently idle in the free list. */
-    std::size_t idleBytes() const { return idle_bytes_; }
+    std::size_t idleBytes() const
+    {
+        LockGuard lock(mutex_);
+        return idle_bytes_;
+    }
     /** High-water mark of idleBytes(). */
-    std::size_t peakIdleBytes() const { return peak_idle_bytes_; }
+    std::size_t peakIdleBytes() const
+    {
+        LockGuard lock(mutex_);
+        return peak_idle_bytes_;
+    }
     /** Buffers currently idle in the free list. */
-    std::size_t idleBuffers() const { return idle_buffers_; }
+    std::size_t idleBuffers() const
+    {
+        LockGuard lock(mutex_);
+        return idle_buffers_;
+    }
 
   private:
     MemoryTracker* tracker_;
-    std::map<std::size_t, std::vector<std::vector<double>>> free_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t fresh_ = 0;
-    std::size_t idle_bytes_ = 0;
-    std::size_t peak_idle_bytes_ = 0;
-    std::size_t idle_buffers_ = 0;
+    mutable Mutex mutex_;
+    std::map<std::size_t, std::vector<std::vector<double>>>
+        free_ VIBE_GUARDED_BY(mutex_);
+    std::uint64_t hits_ VIBE_GUARDED_BY(mutex_) = 0;
+    std::uint64_t fresh_ VIBE_GUARDED_BY(mutex_) = 0;
+    std::size_t idle_bytes_ VIBE_GUARDED_BY(mutex_) = 0;
+    std::size_t peak_idle_bytes_ VIBE_GUARDED_BY(mutex_) = 0;
+    std::size_t idle_buffers_ VIBE_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace vibe

@@ -19,6 +19,7 @@
 #include "exec/exec_context.hpp"
 #include "mesh/block_tree.hpp"
 #include "mesh/logical_location.hpp"
+#include "mesh/ownership_audit.hpp"
 #include "mesh/variable.hpp"
 #include "util/array4.hpp"
 
@@ -146,21 +147,67 @@ class MeshBlock
     bool hasData() const { return mode_ == DataMode::Real; }
     DataMode mode() const { return mode_; }
 
+    // Storage accessors. In VIBE_AUDIT_OWNERSHIP builds each access
+    // asserts the calling thread owns this block (or is inside a
+    // sanctioned materialize/unpack scope) — the runtime backstop for
+    // the shadow-data-access lint rule; in normal builds auditAccess()
+    // compiles to nothing.
+
     /** Packed conserved variables (Independent components). */
-    RealArray4& cons() { return cons_; }
-    const RealArray4& cons() const { return cons_; }
+    RealArray4& cons()
+    {
+        auditAccess();
+        return cons_;
+    }
+    const RealArray4& cons() const
+    {
+        auditAccess();
+        return cons_;
+    }
     /** Step-start copy used by RK averaging. */
-    RealArray4& cons0() { return cons0_; }
-    const RealArray4& cons0() const { return cons0_; }
+    RealArray4& cons0()
+    {
+        auditAccess();
+        return cons0_;
+    }
+    const RealArray4& cons0() const
+    {
+        auditAccess();
+        return cons0_;
+    }
     /** Flux-divergence accumulator. */
-    RealArray4& dudt() { return dudt_; }
-    const RealArray4& dudt() const { return dudt_; }
+    RealArray4& dudt()
+    {
+        auditAccess();
+        return dudt_;
+    }
+    const RealArray4& dudt() const
+    {
+        auditAccess();
+        return dudt_;
+    }
     /** Derived variables. */
-    RealArray4& derived() { return derived_; }
-    const RealArray4& derived() const { return derived_; }
+    RealArray4& derived()
+    {
+        auditAccess();
+        return derived_;
+    }
+    const RealArray4& derived() const
+    {
+        auditAccess();
+        return derived_;
+    }
     /** Face fluxes in direction `d` (0 = x1, 1 = x2, 2 = x3). */
-    RealArray4& flux(int d) { return flux_[d]; }
-    const RealArray4& flux(int d) const { return flux_[d]; }
+    RealArray4& flux(int d)
+    {
+        auditAccess();
+        return flux_[d];
+    }
+    const RealArray4& flux(int d) const
+    {
+        auditAccess();
+        return flux_[d];
+    }
 
     /**
      * Face-reconstruction scratch (left/right states in direction `d`).
@@ -210,6 +257,11 @@ class MeshBlock
     std::size_t serializedStateCount() const;
 
   private:
+    void auditAccess() const
+    {
+        ownership_audit::checkAccess(rank_);
+    }
+
     void allocateAll(const ExecContext& ctx, bool own_recon);
     void releaseAll();
     void registerAllocation(const ExecContext& ctx,

@@ -1,0 +1,37 @@
+#include "mesh/ownership_audit.hpp"
+
+#if defined(VIBE_AUDIT_OWNERSHIP)
+
+namespace vibe {
+namespace ownership_audit {
+
+int&
+declaredRank()
+{
+    static thread_local int rank = -1;
+    return rank;
+}
+
+int&
+sanctionedDepth()
+{
+    static thread_local int depth = 0;
+    return depth;
+}
+
+void
+checkAccess(int block_rank)
+{
+    const int declared = declaredRank();
+    if (declared < 0 || declared == block_rank ||
+        sanctionedDepth() > 0)
+        return;
+    panic("ownership audit: thread declared as rank ", declared,
+          " touched storage of a block owned by rank ", block_rank,
+          " outside any sanctioned materialize/unpack scope");
+}
+
+} // namespace ownership_audit
+} // namespace vibe
+
+#endif // VIBE_AUDIT_OWNERSHIP

@@ -1,0 +1,94 @@
+/**
+ * @file ownership_audit.hpp
+ * Debug-mode rank-ownership auditor for MeshBlock storage access.
+ *
+ * Runtime backstop for the `shadow-data-access` lint rule: when the
+ * build enables `VIBE_AUDIT_OWNERSHIP` (CMake option, default OFF),
+ * every MeshBlock storage accessor asserts that the calling thread may
+ * touch the block's arrays. A thread may touch storage of block B when
+ * any of the following holds:
+ *
+ * - the thread never declared an audit rank (worker threads of a
+ *   rank's ExecutionSpace pool, classic single-driver runs, tests that
+ *   do not opt in) — the auditor cannot attribute such a thread, so it
+ *   stays silent;
+ * - the thread declared rank r (RankTeam::runRank does this for every
+ *   rank driver thread) and B.rank() == r;
+ * - the thread is inside a sanctioned scope: materialize/unpack paths
+ *   that legitimately touch blocks mid-relabel (mesh restructure,
+ *   migration landing, remote-restriction application).
+ *
+ * Violations panic (throw PanicError) naming the block's owner and the
+ * declared rank, so a cross-rank read that the Shadow mechanism would
+ * only catch probabilistically (e.g. on a block that happens to hold
+ * real storage because ownership just changed) fails deterministically
+ * at the access site.
+ *
+ * All hooks compile to nothing when VIBE_AUDIT_OWNERSHIP is off; the
+ * thread-local bookkeeping only exists in audit builds.
+ */
+#pragma once
+
+#include "util/logging.hpp"
+
+namespace vibe {
+namespace ownership_audit {
+
+#if defined(VIBE_AUDIT_OWNERSHIP)
+
+/** This thread's declared rank; -1 = undeclared (auditor silent). */
+int& declaredRank();
+/** Nesting depth of sanctioned materialize/unpack scopes. */
+int& sanctionedDepth();
+
+/** Panic unless this thread may touch storage of a rank-`block_rank`
+ *  block (see file comment for the admission rules). */
+void checkAccess(int block_rank);
+
+/** RAII: declare the current thread to be rank `rank`'s driver. */
+class ScopedRank
+{
+  public:
+    explicit ScopedRank(int rank) : previous_(declaredRank())
+    {
+        declaredRank() = rank;
+    }
+    ~ScopedRank() { declaredRank() = previous_; }
+    ScopedRank(const ScopedRank&) = delete;
+    ScopedRank& operator=(const ScopedRank&) = delete;
+
+  private:
+    int previous_;
+};
+
+/** RAII: sanction cross-ownership storage access for this scope. */
+class SanctionedScope
+{
+  public:
+    SanctionedScope() { ++sanctionedDepth(); }
+    ~SanctionedScope() { --sanctionedDepth(); }
+    SanctionedScope(const SanctionedScope&) = delete;
+    SanctionedScope& operator=(const SanctionedScope&) = delete;
+};
+
+#else // !VIBE_AUDIT_OWNERSHIP
+
+inline void
+checkAccess(int)
+{
+}
+
+class ScopedRank
+{
+  public:
+    explicit ScopedRank(int) {}
+};
+
+class SanctionedScope
+{
+};
+
+#endif // VIBE_AUDIT_OWNERSHIP
+
+} // namespace ownership_audit
+} // namespace vibe

@@ -1,0 +1,178 @@
+/**
+ * @file thread_safety.hpp
+ * Capability-annotated synchronization primitives.
+ *
+ * The concurrent core (RankWorld mailboxes and rendezvous collectives,
+ * the task-graph executor, the thread-pool launch slot, instrumentation
+ * merge paths) encodes its lock discipline in Clang Thread Safety
+ * Analysis annotations: shared members are declared `VIBE_GUARDED_BY`
+ * their mutex, functions that expect a lock held say `VIBE_REQUIRES`,
+ * and the wrappers below carry the acquire/release contracts. Under
+ * `clang++ -Wthread-safety` (the CI `thread-safety` job builds with
+ * `-Werror`) a lock-discipline violation is a build failure; under GCC
+ * or MSVC every macro expands to nothing and `Mutex`/`CondVar`/
+ * `LockGuard`/`UniqueLock` are zero-cost veneers over their std
+ * counterparts.
+ *
+ * Annotation style rules (enforced by convention, checked by clang):
+ *
+ * - Condition-variable waits are written as explicit predicate loops
+ *   (`while (!ready_) cv_.wait(lock);`), never with the predicate
+ *   overload: the analysis treats a predicate lambda as a separate
+ *   unannotated function and would warn on every guarded member it
+ *   reads.
+ * - A `UniqueLock` may be manually `unlock()`ed/`lock()`ed mid-scope
+ *   (the task executor does this around task bodies); the analysis
+ *   tracks those transitions through the annotated methods.
+ * - Members read on hot paths without their mutex (owner-thread fast
+ *   paths, quiescent-point reads) must either be atomics or live
+ *   outside any capability — the annotations express the locked
+ *   discipline, not the epoch-based one; the sanitizer matrix covers
+ *   the latter.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -----------------------
+//
+// The standard macro set from the clang documentation, prefixed VIBE_ to
+// keep the global namespace clean. No-ops when the attributes are
+// unsupported.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VIBE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VIBE_THREAD_ANNOTATION(x) // no-op
+#endif
+
+#define VIBE_CAPABILITY(x) VIBE_THREAD_ANNOTATION(capability(x))
+#define VIBE_SCOPED_CAPABILITY VIBE_THREAD_ANNOTATION(scoped_lockable)
+#define VIBE_GUARDED_BY(x) VIBE_THREAD_ANNOTATION(guarded_by(x))
+#define VIBE_PT_GUARDED_BY(x) VIBE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VIBE_ACQUIRED_BEFORE(...)                                         \
+    VIBE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VIBE_ACQUIRED_AFTER(...)                                          \
+    VIBE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define VIBE_REQUIRES(...)                                                \
+    VIBE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VIBE_REQUIRES_SHARED(...)                                         \
+    VIBE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define VIBE_ACQUIRE(...)                                                 \
+    VIBE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VIBE_ACQUIRE_SHARED(...)                                          \
+    VIBE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define VIBE_RELEASE(...)                                                 \
+    VIBE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VIBE_RELEASE_SHARED(...)                                          \
+    VIBE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define VIBE_TRY_ACQUIRE(...)                                             \
+    VIBE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VIBE_EXCLUDES(...)                                                \
+    VIBE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VIBE_ASSERT_CAPABILITY(x)                                         \
+    VIBE_THREAD_ANNOTATION(assert_capability(x))
+#define VIBE_RETURN_CAPABILITY(x)                                         \
+    VIBE_THREAD_ANNOTATION(lock_returned(x))
+#define VIBE_NO_THREAD_SAFETY_ANALYSIS                                    \
+    VIBE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vibe {
+
+/** std::mutex declared as a thread-safety capability. */
+class VIBE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() VIBE_ACQUIRE() { mutex_.lock(); }
+    void unlock() VIBE_RELEASE() { mutex_.unlock(); }
+    bool try_lock() VIBE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+    /** Underlying mutex, for CondVar and std interop. */
+    std::mutex& native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** std::lock_guard over Mutex, visible to the analysis. */
+class VIBE_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex& mutex) VIBE_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~LockGuard() VIBE_RELEASE() { mutex_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/**
+ * std::unique_lock over Mutex: a scoped capability that additionally
+ * supports CondVar waits and manual unlock()/lock() transitions. Always
+ * constructed locked; must be locked again before destruction if
+ * manually unlocked (the analysis enforces balanced transitions, and
+ * the destructor releases unconditionally).
+ */
+class VIBE_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex& mutex) VIBE_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+    ~UniqueLock() VIBE_RELEASE() = default;
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    void unlock() VIBE_RELEASE() { lock_.unlock(); }
+    void lock() VIBE_ACQUIRE() { lock_.lock(); }
+
+    /** Underlying lock handle (CondVar::wait plumbing). */
+    std::unique_lock<std::mutex>& native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable paired with Mutex/UniqueLock.
+ *
+ * wait() atomically releases and reacquires the lock, so from the
+ * analysis' point of view the capability is held across the call —
+ * exactly the guarantee guarded-member reads in a predicate loop need.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(UniqueLock& lock,
+                            const std::chrono::duration<Rep, Period>& d)
+    {
+        return cv_.wait_for(lock.native(), d);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace vibe

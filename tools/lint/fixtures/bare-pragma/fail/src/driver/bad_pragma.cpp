@@ -1,0 +1,8 @@
+// Fixture: pragma with no justification — must trip bare-pragma
+// (and only bare-pragma: the pragma still suppresses owned-blocks).
+void walk(Mesh& mesh)
+{
+    // vibe-lint: allow(owned-blocks)
+    for (MeshBlock* block : mesh.blocks())
+        retag(*block);
+}

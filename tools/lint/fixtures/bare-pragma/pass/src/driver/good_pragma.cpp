@@ -1,0 +1,7 @@
+// Fixture: pragma with a justification — auditable, clean.
+void walk(Mesh& mesh)
+{
+    // vibe-lint: allow(owned-blocks) replicated structure walk.
+    for (MeshBlock* block : mesh.blocks())
+        retag(*block);
+}

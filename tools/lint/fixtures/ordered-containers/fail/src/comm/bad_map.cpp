@@ -1,0 +1,5 @@
+// Fixture: unordered map on a message path — must trip
+// ordered-containers.
+#include <unordered_map>
+
+std::unordered_map<int, Message> outbox;

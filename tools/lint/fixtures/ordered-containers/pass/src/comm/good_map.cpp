@@ -1,0 +1,10 @@
+// Fixture: std::map keeps deterministic iteration order, and a
+// lookup-only unordered map is fine with an audited pragma.
+#include <map>
+#include <unordered_map>
+
+std::map<int, Message> queue;
+
+// vibe-lint: allow(ordered-containers) lookup-only cache keyed by
+// channel id, never iterated.
+std::unordered_map<int, Buffer> cache;

@@ -1,0 +1,5 @@
+// Fixture: src/mesh/ is outside the ordered-containers scope (no
+// reduction or message ordering originates there), so this is clean.
+#include <unordered_map>
+
+std::unordered_map<int, int> refinement_cache;

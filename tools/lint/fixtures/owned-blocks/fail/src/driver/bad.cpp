@@ -1,0 +1,7 @@
+// Fixture: un-pragmaed blocks() iteration in a driver hot path —
+// must trip owned-blocks.
+void advanceAll(Mesh& mesh)
+{
+    for (MeshBlock* block : mesh.blocks())
+        advance(*block);
+}

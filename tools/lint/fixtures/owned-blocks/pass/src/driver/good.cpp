@@ -1,0 +1,12 @@
+// Fixture: hot path iterating ownedBlocks(), plus an audited
+// exception covered by a pragma — both must be clean.
+void advanceAll(Mesh& mesh)
+{
+    for (MeshBlock* block : mesh.ownedBlocks())
+        advance(*block);
+
+    // vibe-lint: allow(owned-blocks) replicated remesh structure walk,
+    // metadata only.
+    for (MeshBlock* block : mesh.blocks())
+        retag(*block);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw std::thread outside exec/ and rank_team — must trip
+// raw-thread.
+#include <thread>
+
+void sneakyParallelism()
+{
+    std::thread helper([] { work(); });
+    helper.join();
+}

@@ -1,0 +1,9 @@
+// Fixture: src/exec/ is exempt — pool workers ARE the sanctioned
+// thread owners.
+#include <thread>
+
+void spawnWorker()
+{
+    std::thread worker([] { work(); });
+    worker.join();
+}

@@ -1,0 +1,8 @@
+// Fixture: std::thread::id and std::this_thread are fine anywhere —
+// they identify threads, they do not create them.
+#include <thread>
+
+std::thread::id owner()
+{
+    return std::this_thread::get_id();
+}

@@ -1,0 +1,7 @@
+// Fixture: caching a raw data() pointer into block storage from a
+// package — must trip shadow-data-access.
+void advance(MeshBlock& block)
+{
+    double* u = block.cons().data();
+    u[0] += 1.0;
+}

@@ -1,0 +1,7 @@
+// Fixture: src/mesh/ is the sanctioned materialize/unpack layer —
+// raw storage pointers are allowed here.
+void serialize(MeshBlock& block, std::vector<double>& out)
+{
+    const double* src = block.cons().data();
+    out.assign(src, src + block.cons().size());
+}

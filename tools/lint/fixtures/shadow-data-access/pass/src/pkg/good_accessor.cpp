@@ -1,0 +1,6 @@
+// Fixture: indexed accessor use in a package — the audited accessor
+// path, not a cached raw pointer. Must be clean.
+void advance(MeshBlock& block)
+{
+    block.cons()(0, 0, 0, 0) += block.dudt()(0, 0, 0, 0);
+}

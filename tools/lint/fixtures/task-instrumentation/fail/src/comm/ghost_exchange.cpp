@@ -1,0 +1,6 @@
+// Fixture: ambient-phase record inside the concurrent exchange path —
+// must trip task-instrumentation.
+void exchangeTask(ExecContext& ctx, KernelProfiler& prof)
+{
+    prof.recordKernel("pack", seconds);
+}

@@ -1,0 +1,8 @@
+// Fixture: task-path instrumentation with explicit (phase, rank)
+// attribution — the At-suffixed variants are the sanctioned API.
+void exchangeTask(ExecContext& ctx, KernelProfiler& prof)
+{
+    prof.recordKernelAt(Phase::Comm, rank, "pack", seconds);
+    prof.recordSerialAt(Phase::Comm, rank, "enqueue", seconds);
+    ctx.parForAt(Phase::Comm, rank, "unpack", n, body);
+}

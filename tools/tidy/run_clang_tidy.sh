@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy) over src/ and diff the findings
+# against tools/tidy/baseline.txt.
+#
+#   tools/tidy/run_clang_tidy.sh <build-dir>              gate on new findings
+#   tools/tidy/run_clang_tidy.sh <build-dir> --update     rewrite the baseline
+#
+# <build-dir> must hold a compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Findings are normalized to
+# "relative/path:line: warning: ... [check]" and sorted, so the diff is
+# stable across machines. A finding present in the baseline does not
+# block; a finding absent from it does. Fixing findings without
+# refreshing the baseline is fine (stale entries are ignored) but run
+# --update occasionally so the baseline shrinks with the debt.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+build_dir=${1:?usage: run_clang_tidy.sh <build-dir> [--update]}
+mode=${2:-check}
+baseline="$repo_root/tools/tidy/baseline.txt"
+tidy=${CLANG_TIDY:-clang-tidy}
+
+command -v "$tidy" >/dev/null 2>&1 || {
+    echo "run_clang_tidy: $tidy not found (set CLANG_TIDY)" >&2
+    exit 2
+}
+[ -f "$build_dir/compile_commands.json" ] || {
+    echo "run_clang_tidy: no compile_commands.json in $build_dir" >&2
+    echo "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+    exit 2
+}
+
+current=$(mktemp)
+trap 'rm -f "$current" "$current.raw"' EXIT
+
+# shellcheck disable=SC2046
+"$tidy" -p "$build_dir" --quiet $(find "$repo_root/src" -name '*.cpp' | sort) \
+    > "$current.raw" 2>/dev/null || true
+
+# Keep only finding lines, strip the absolute repo prefix and the
+# column number (columns shift with unrelated edits on the same line).
+sed -n "s|^$repo_root/||p" "$current.raw" \
+    | sed -n 's/^\([^:]*:[0-9]*\):[0-9]*: \(warning\|error\): /\1: warning: /p' \
+    | sort -u > "$current"
+
+if [ "$mode" = "--update" ]; then
+    cp "$current" "$baseline"
+    echo "run_clang_tidy: baseline updated ($(wc -l < "$baseline") findings)"
+    exit 0
+fi
+
+if [ ! -s "$baseline" ]; then
+    # Bootstrap: no baseline recorded yet. Report, do not gate — the
+    # first maintainer run of --update arms the check.
+    echo "run_clang_tidy: baseline is empty (bootstrap mode)"
+    echo "current findings ($(wc -l < "$current")):"
+    cat "$current"
+    exit 0
+fi
+
+new=$(comm -13 "$baseline" "$current")
+if [ -n "$new" ]; then
+    echo "run_clang_tidy: NEW findings not in baseline:"
+    printf '%s\n' "$new"
+    exit 1
+fi
+echo "run_clang_tidy: clean ($(wc -l < "$current") findings, all baselined)"
