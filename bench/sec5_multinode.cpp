@@ -32,7 +32,7 @@ runMeasured(int mesh, int block, const std::string& json_path)
                 "^3 mesh, B" + std::to_string(block) + ", L2, burgers");
     table.setHeader({"ranks", "threads/rank", "zone-cyc/s", "speedup",
                      "remote msgs", "remote MB", "allreduces",
-                     "migrated KB"});
+                     "migrated KB", "bnd msgs/cyc", "bnd MB/cyc"});
 
     double base_fom = 0.0;
     for (int ranks : {1, 2, 4}) {
@@ -57,7 +57,10 @@ runMeasured(int mesh, int block, const std::string& json_path)
                  std::to_string(result.traffic.remoteMessages),
                  formatFixed(result.traffic.remoteBytes / 1.0e6, 2),
                  std::to_string(result.traffic.allReduces),
-                 formatFixed(result.migratedStorageBytes / 1.0e3, 1)});
+                 formatFixed(result.migratedStorageBytes / 1.0e3, 1),
+                 formatFixed(result.messagesPerCycle(), 1),
+                 formatFixed(result.boundaryBytesPerCycle() / 1.0e6,
+                             3)});
             report.add("measured_rank_scaling",
                        {{"ranks", std::to_string(ranks)},
                         {"threads", std::to_string(threads)},
@@ -70,6 +73,57 @@ runMeasured(int mesh, int block, const std::string& json_path)
                   "(tests/test_rank_shard.cpp); differences are pure "
                   "execution.");
     table.print(std::cout);
+
+    // Per-face vs fused boundary coalescing at increasing block size.
+    // The fused BoundaryPlan path carries identical bytes in
+    // O(adjacent rank pairs) messages per phase instead of O(faces);
+    // smaller blocks mean more faces, so the message-count win grows
+    // as the block size shrinks.
+    Table coal("\nBoundary coalescing: per-face vs fused (" +
+               std::to_string(mesh) + "^3 mesh, 2 ranks, L2)");
+    coal.setHeader({"block", "path", "bnd msgs/cyc", "bnd MB/cyc",
+                    "zone-cyc/s", "fused/per-face"});
+    for (int coal_block : {8, 16, 32}) {
+        // Periodic meshes need >= 2 blocks per dimension.
+        if (2 * coal_block > mesh || mesh % coal_block != 0)
+            continue;
+        double per_face_fom = 0.0;
+        for (const bool fused : {false, true}) {
+            ExperimentSpec spec;
+            spec.meshSize = mesh;
+            spec.blockSize = coal_block;
+            spec.amrLevels = 2;
+            spec.ncycles = 4;
+            spec.numeric = true;
+            spec.numRanks = 2;
+            spec.numThreads = 1;
+            spec.fusedBoundaries = fused;
+            const ExperimentResult result = Experiment(spec).run();
+            if (!fused)
+                per_face_fom = result.measuredFom();
+            coal.addRow(
+                {std::to_string(coal_block),
+                 fused ? "fused" : "per-face",
+                 formatFixed(result.messagesPerCycle(), 1),
+                 formatFixed(result.boundaryBytesPerCycle() / 1.0e6, 3),
+                 formatSci(result.measuredFom(), 2),
+                 fused && per_face_fom > 0
+                     ? formatRatio(result.measuredFom() / per_face_fom)
+                     : "-"});
+            const std::vector<std::pair<std::string, std::string>> cfg{
+                {"block", std::to_string(coal_block)},
+                {"path", fused ? "fused" : "per_face"},
+                {"mesh", std::to_string(mesh)}};
+            report.add("boundary_messages_per_cycle", cfg,
+                       result.messagesPerCycle());
+            report.add("boundary_bytes_per_cycle", cfg,
+                       result.boundaryBytesPerCycle());
+        }
+    }
+    coal.addNote("both paths are bitwise state-identical "
+                 "(tests/test_boundary_plan.cpp); fused coalesces "
+                 "each rank pair's boundary into one message/phase");
+    coal.print(std::cout);
     report.write(json_path);
     return 0;
 }

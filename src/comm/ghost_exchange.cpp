@@ -29,7 +29,8 @@ rangeCount(const Region3& r, int d)
 
 GhostExchange::GhostExchange(Mesh& mesh, RankWorld& world,
                              BoundaryBufferCache& cache)
-    : mesh_(&mesh), world_(&world), cache_(&cache)
+    : mesh_(&mesh), world_(&world), cache_(&cache),
+      plan_(mesh, cache, world)
 {
     const MeshConfig& config = mesh.config();
     if (mesh.ctx().executing() && config.amrLevels > 1) {
@@ -50,10 +51,50 @@ GhostExchange::GhostExchange(Mesh& mesh, RankWorld& world,
 void
 GhostExchange::exchangeBounds()
 {
+    if (fused()) {
+        // Monolithic callers (driver initialization, direct tests) are
+        // serial points, so the lazy rebuild may happen right here.
+        plan_.ensureBuilt();
+        startReceiveBoundBufsFused();
+        sendBoundBufsFused();
+        receiveBoundBufsFused();
+        setBoundsFused();
+        return;
+    }
     startReceiveBoundBufs();
     sendBoundBufs();
     receiveBoundBufs();
     setBounds();
+}
+
+void
+GhostExchange::discardStaleDeliveries()
+{
+    // Classic single-driver world: any pending delivery at the top of
+    // a cycle is stale garbage from an aborted cycle. With concurrent
+    // rank drivers this sweep would be wrong: a neighbor rank may
+    // legitimately run up to one stage ahead, and its early sends
+    // queue in FIFO order until this rank's matching receive — exactly
+    // MPI's eager-message semantics. The aborted cycle may have run
+    // either boundary path, so both message formats are swept: every
+    // per-face channel id, and every rank pair's coalesced ids
+    // (constructed directly — the plan may be stale or unbuilt here).
+    std::size_t stale = 0;
+    for (const auto& ch : cache_->bounds())
+        stale += world_->discardPending(ch.id);
+    for (const auto& ch : cache_->flux())
+        stale += world_->discardPending(ch.id);
+    const int nranks = world_->nranks();
+    for (int src = 0; src < nranks; ++src)
+        for (int dst = 0; dst < nranks; ++dst) {
+            stale += world_->discardPending(coalescedChannelId(
+                src, dst, ChannelKind::CoalescedBounds));
+            stale += world_->discardPending(coalescedChannelId(
+                src, dst, ChannelKind::CoalescedFlux));
+        }
+    if (stale > 0)
+        warn("ghost exchange discarded ", stale,
+             " stale buffers left by an aborted cycle");
 }
 
 void
@@ -63,22 +104,10 @@ GhostExchange::startReceiveBoundBufs()
     // exchange that threw mid-cycle cannot leak wire counts, pending
     // receives, or stale mailbox deliveries into the next one.
     last_wire_cells_.store(0);
-    if (!world_->concurrent()) {
-        // Classic single-driver world: any pending delivery at the top
-        // of a cycle is stale garbage from an aborted cycle. With
-        // concurrent rank drivers this sweep would be wrong: a neighbor
-        // rank may legitimately run up to one stage ahead, and its
-        // early sends queue in FIFO order until this rank's matching
-        // receive — exactly MPI's eager-message semantics.
-        std::size_t stale = 0;
-        for (const auto& ch : cache_->bounds())
-            stale += world_->discardPending(ch.id);
-        for (const auto& ch : cache_->flux())
-            stale += world_->discardPending(ch.id);
-        if (stale > 0)
-            warn("ghost exchange discarded ", stale,
-                 " stale buffers left by an aborted cycle");
-    }
+    last_messages_.store(0);
+    last_send_bytes_.store(0);
+    if (!world_->concurrent())
+        discardStaleDeliveries();
     const std::size_t expected =
         mesh_->sharded()
             ? cache_->recvChannelCountFor(mesh_->shardRank())
@@ -132,63 +161,90 @@ GhostExchange::sendBlockBounds(const MeshBlock& block)
                    static_cast<double>(channels.size()));
 }
 
+std::size_t
+GhostExchange::boundsPayloadCount(const BoundsChannel& ch) const
+{
+    return static_cast<std::size_t>(ch.wireCells()) *
+           mesh_->registry().ncompConserved();
+}
+
+std::size_t
+GhostExchange::fluxPayloadCount(const FluxChannel& ch) const
+{
+    return static_cast<std::size_t>(ch.wireFaces()) *
+           mesh_->registry().ncompConserved();
+}
+
+void
+GhostExchange::packBoundsChannel(const BoundsChannel& ch,
+                                 double* out) const
+{
+    require(ch.sender->hasData(), "pack from a storage-less block ",
+            ch.sender->loc().str(),
+            " (sender not owned by this rank?)");
+    const int ncomp = mesh_->registry().ncompConserved();
+    const BlockShape shape = mesh_->config().blockShape();
+    const int ndim = shape.ndim;
+    const RealArray4& cons = ch.sender->cons();
+    std::size_t idx = 0;
+    if (ch.levelDiff == 1) {
+        // Restrict on send: iterate the receiver's coarse target
+        // region; average the covering fine cells.
+        const int lo[3] = {shape.is(), shape.js(), shape.ks()};
+        const double inv = 1.0 / (1 << ndim);
+        for (int n = 0; n < ncomp; ++n)
+            for (int K = ch.recv.k.lo; K <= ch.recv.k.hi; ++K)
+                for (int J = ch.recv.j.lo; J <= ch.recv.j.hi; ++J)
+                    for (int I = ch.recv.i.lo; I <= ch.recv.i.hi;
+                         ++I) {
+                        const int fi =
+                            lo[0] + 2 * (I - lo[0]) - ch.base2[0];
+                        const int fj =
+                            ndim >= 2
+                                ? lo[1] + 2 * (J - lo[1]) - ch.base2[1]
+                                : 0;
+                        const int fk =
+                            ndim >= 3
+                                ? lo[2] + 2 * (K - lo[2]) - ch.base2[2]
+                                : 0;
+                        double sum = 0.0;
+                        for (int dk = 0; dk <= (ndim >= 3 ? 1 : 0);
+                             ++dk)
+                            for (int dj = 0; dj <= (ndim >= 2 ? 1 : 0);
+                                 ++dj)
+                                for (int di = 0; di <= 1; ++di)
+                                    sum += cons(n, fk + dk, fj + dj,
+                                                fi + di);
+                        out[idx++] = sum * inv;
+                    }
+    } else {
+        // Same level or coarse slab: straight copy of the send box.
+        for (int n = 0; n < ncomp; ++n)
+            for (int k = ch.send.k.lo; k <= ch.send.k.hi; ++k)
+                for (int j = ch.send.j.lo; j <= ch.send.j.hi; ++j)
+                    for (int i = ch.send.i.lo; i <= ch.send.i.hi; ++i)
+                        out[idx++] = cons(n, k, j, i);
+    }
+}
+
+void
+GhostExchange::countSend(double bytes)
+{
+    last_messages_.fetch_add(1);
+    last_send_bytes_.fetch_add(static_cast<std::int64_t>(bytes));
+}
+
 void
 GhostExchange::packAndSend(const BoundsChannel& ch)
 {
     const ExecContext& ctx = mesh_->ctx();
-    const int ncomp = mesh_->registry().ncompConserved();
     const double bytes =
-        static_cast<double>(ch.wireCells()) * ncomp * sizeof(double);
+        static_cast<double>(boundsPayloadCount(ch)) * sizeof(double);
 
     std::vector<double> payload;
     if (ctx.executing()) {
-        require(ch.sender->hasData(),
-                "pack from a storage-less block ",
-                ch.sender->loc().str(),
-                " (sender not owned by this rank?)");
-        const BlockShape shape = mesh_->config().blockShape();
-        const int ndim = shape.ndim;
-        const RealArray4& cons = ch.sender->cons();
-        payload.reserve(static_cast<std::size_t>(ch.wireCells()) * ncomp);
-        if (ch.levelDiff == 1) {
-            // Restrict on send: iterate the receiver's coarse target
-            // region; average the covering fine cells.
-            const int lo[3] = {shape.is(), shape.js(), shape.ks()};
-            const double inv = 1.0 / (1 << ndim);
-            for (int n = 0; n < ncomp; ++n)
-                for (int K = ch.recv.k.lo; K <= ch.recv.k.hi; ++K)
-                    for (int J = ch.recv.j.lo; J <= ch.recv.j.hi; ++J)
-                        for (int I = ch.recv.i.lo; I <= ch.recv.i.hi;
-                             ++I) {
-                            const int fi =
-                                lo[0] + 2 * (I - lo[0]) - ch.base2[0];
-                            const int fj =
-                                ndim >= 2
-                                    ? lo[1] + 2 * (J - lo[1]) - ch.base2[1]
-                                    : 0;
-                            const int fk =
-                                ndim >= 3
-                                    ? lo[2] + 2 * (K - lo[2]) - ch.base2[2]
-                                    : 0;
-                            double sum = 0.0;
-                            for (int dk = 0; dk <= (ndim >= 3 ? 1 : 0);
-                                 ++dk)
-                                for (int dj = 0;
-                                     dj <= (ndim >= 2 ? 1 : 0); ++dj)
-                                    for (int di = 0; di <= 1; ++di)
-                                        sum += cons(n, fk + dk, fj + dj,
-                                                    fi + di);
-                            payload.push_back(sum * inv);
-                        }
-        } else {
-            // Same level or coarse slab: straight copy of the send box.
-            for (int n = 0; n < ncomp; ++n)
-                for (int k = ch.send.k.lo; k <= ch.send.k.hi; ++k)
-                    for (int j = ch.send.j.lo; j <= ch.send.j.hi; ++j)
-                        for (int i = ch.send.i.lo; i <= ch.send.i.hi;
-                             ++i)
-                            payload.push_back(cons(n, k, j, i));
-        }
+        payload.resize(boundsPayloadCount(ch));
+        packBoundsChannel(ch, payload.data());
     }
     const bool remote = ch.sender->rank() != ch.receiver->rank();
     recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
@@ -196,6 +252,7 @@ GhostExchange::packAndSend(const BoundsChannel& ch)
     recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
                    remote ? "msg_remote_bytes" : "msg_local_bytes",
                    bytes);
+    countSend(bytes);
     world_->isend(ch.id, ch.sender->rank(), ch.receiver->rank(),
                   std::move(payload), bytes);
 }
@@ -321,9 +378,16 @@ GhostExchange::setBlockBounds(MeshBlock& block)
 void
 GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
 {
-    const ExecContext& ctx = mesh_->ctx();
-    if (!ctx.executing())
+    if (!mesh_->ctx().executing())
         return;
+    unpackBoundsChannel(ch, msg.payload.data(), msg.payload.size());
+}
+
+void
+GhostExchange::unpackBoundsChannel(const BoundsChannel& ch,
+                                   const double* payload,
+                                   std::size_t count) const
+{
     const int ncomp = mesh_->registry().ncompConserved();
     const BlockShape shape = mesh_->config().blockShape();
     const int ndim = shape.ndim;
@@ -333,7 +397,7 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
         // Same level or pre-restricted: straight copy into recv box.
         // One size check up front, then unchecked indexing in the
         // per-cell loop (matching the slab branch below).
-        require(msg.payload.size() ==
+        require(count ==
                     static_cast<std::size_t>(ch.recv.cells()) * ncomp,
                 "bounds payload size mismatch");
         std::size_t idx = 0;
@@ -341,7 +405,7 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
             for (int k = ch.recv.k.lo; k <= ch.recv.k.hi; ++k)
                 for (int j = ch.recv.j.lo; j <= ch.recv.j.hi; ++j)
                     for (int i = ch.recv.i.lo; i <= ch.recv.i.hi; ++i)
-                        cons(n, k, j, i) = msg.payload[idx++];
+                        cons(n, k, j, i) = payload[idx++];
         return;
     }
 
@@ -360,12 +424,12 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
                        rangeCount(ch.send, 2)};
     const std::size_t slab_stride_n =
         static_cast<std::size_t>(sc[2]) * sc[1] * sc[0];
-    require(msg.payload.size() == slab_stride_n * ncomp,
+    require(count == slab_stride_n * ncomp,
             "slab payload size mismatch");
     auto slab_at = [&](int n, int ck, int cj, int ci) {
-        return msg.payload[(static_cast<std::size_t>(n) * sc[2] + ck) *
-                               sc[1] * sc[0] +
-                           static_cast<std::size_t>(cj) * sc[0] + ci];
+        return payload[(static_cast<std::size_t>(n) * sc[2] + ck) *
+                           sc[1] * sc[0] +
+                       static_cast<std::size_t>(cj) * sc[0] + ci];
     };
 
     // Coarse value at sender-local interior-relative index c_rel[3];
@@ -438,6 +502,14 @@ GhostExchange::unpack(const BoundsChannel& ch, const Message& msg)
 void
 GhostExchange::exchangeFluxCorrections()
 {
+    if (fused()) {
+        // Serial point for monolithic callers; see exchangeBounds().
+        plan_.ensureBuilt();
+        sendFluxCorrectionsFused();
+        receiveFluxCorrectionsFused();
+        setFluxCorrectionsFused();
+        return;
+    }
     for (MeshBlock* block : mesh_->ownedBlocks())
         sendBlockFluxCorrections(*block);
     for (MeshBlock* block : mesh_->ownedBlocks())
@@ -485,56 +557,61 @@ GhostExchange::setBlockFluxCorrections(MeshBlock& block)
 }
 
 void
+GhostExchange::packFluxChannel(const FluxChannel& ch, double* out) const
+{
+    require(ch.sender->hasData(), "flux pack from a storage-less block ",
+            ch.sender->loc().str());
+    const int ncomp = mesh_->registry().ncompConserved();
+    const BlockShape shape = mesh_->config().blockShape();
+    const int ndim = shape.ndim;
+    const RealArray4& flux = ch.sender->flux(ch.dir);
+    const int lo[3] = {shape.is(), shape.js(), shape.ks()};
+    const int nfine = 1 << (ndim - 1);
+    const double inv = 1.0 / nfine;
+    std::size_t idx = 0;
+    for (int n = 0; n < ncomp; ++n)
+        for (int K = ch.recvFaces.k.lo; K <= ch.recvFaces.k.hi; ++K)
+            for (int J = ch.recvFaces.j.lo; J <= ch.recvFaces.j.hi; ++J)
+                for (int I = ch.recvFaces.i.lo; I <= ch.recvFaces.i.hi;
+                     ++I) {
+                    const int cidx[3] = {I, J, K};
+                    int f[3];
+                    for (int d = 0; d < 3; ++d) {
+                        if (d == ch.dir) {
+                            f[d] = ch.sendFaceIdx;
+                        } else if (d < ndim) {
+                            f[d] = lo[d] + 2 * (cidx[d] - lo[d]) -
+                                   ch.base2[d];
+                        } else {
+                            f[d] = 0;
+                        }
+                    }
+                    double sum = 0.0;
+                    for (int dk = 0;
+                         dk <= (ndim >= 3 && ch.dir != 2 ? 1 : 0); ++dk)
+                        for (int dj = 0;
+                             dj <= (ndim >= 2 && ch.dir != 1 ? 1 : 0);
+                             ++dj)
+                            for (int di = 0; di <= (ch.dir != 0 ? 1 : 0);
+                                 ++di)
+                                sum += flux(n, f[2] + dk, f[1] + dj,
+                                            f[0] + di);
+                    out[idx++] = sum * inv;
+                }
+}
+
+void
 GhostExchange::packAndSendFlux(const FluxChannel& ch)
 {
     const ExecContext& ctx = mesh_->ctx();
     const int ncomp = mesh_->registry().ncompConserved();
-    const BlockShape shape = mesh_->config().blockShape();
-    const int ndim = shape.ndim;
     const double faces = static_cast<double>(ch.wireFaces());
     const double bytes = faces * ncomp * sizeof(double);
 
     std::vector<double> payload;
     if (ctx.executing()) {
-        require(ch.sender->hasData(),
-                "flux pack from a storage-less block ",
-                ch.sender->loc().str());
-        const RealArray4& flux = ch.sender->flux(ch.dir);
-        const int lo[3] = {shape.is(), shape.js(), shape.ks()};
-        const int nfine = 1 << (ndim - 1);
-        const double inv = 1.0 / nfine;
-        payload.reserve(static_cast<std::size_t>(faces) * ncomp);
-        for (int n = 0; n < ncomp; ++n)
-            for (int K = ch.recvFaces.k.lo; K <= ch.recvFaces.k.hi; ++K)
-                for (int J = ch.recvFaces.j.lo; J <= ch.recvFaces.j.hi;
-                     ++J)
-                    for (int I = ch.recvFaces.i.lo;
-                         I <= ch.recvFaces.i.hi; ++I) {
-                        const int cidx[3] = {I, J, K};
-                        int f[3];
-                        for (int d = 0; d < 3; ++d) {
-                            if (d == ch.dir) {
-                                f[d] = ch.sendFaceIdx;
-                            } else if (d < ndim) {
-                                f[d] = lo[d] + 2 * (cidx[d] - lo[d]) -
-                                       ch.base2[d];
-                            } else {
-                                f[d] = 0;
-                            }
-                        }
-                        double sum = 0.0;
-                        for (int dk = 0;
-                             dk <= (ndim >= 3 && ch.dir != 2 ? 1 : 0);
-                             ++dk)
-                            for (int dj = 0;
-                                 dj <= (ndim >= 2 && ch.dir != 1 ? 1 : 0);
-                                 ++dj)
-                                for (int di = 0;
-                                     di <= (ch.dir != 0 ? 1 : 0); ++di)
-                                    sum += flux(n, f[2] + dk, f[1] + dj,
-                                                f[0] + di);
-                        payload.push_back(sum * inv);
-                    }
+        payload.resize(fluxPayloadCount(ch));
+        packFluxChannel(ch, payload.data());
     }
     // Restriction arithmetic is GPU work inside the pack kernel; the
     // launch is accounted identically in counting mode.
@@ -548,8 +625,29 @@ GhostExchange::packAndSendFlux(const FluxChannel& ch)
     recordSerialAt(ctx, "SendBoundBufs", ch.sender->rank(),
                    remote ? "msg_remote_bytes" : "msg_local_bytes",
                    bytes);
+    countSend(bytes);
     world_->isend(ch.id, ch.sender->rank(), ch.receiver->rank(),
                   std::move(payload), bytes);
+}
+
+void
+GhostExchange::unpackFluxChannel(const FluxChannel& ch,
+                                 const double* payload,
+                                 std::size_t count) const
+{
+    const int ncomp = mesh_->registry().ncompConserved();
+    // One size check up front, then unchecked indexing in the per-face
+    // loop — the same hoist the bounds-unpack path received.
+    require(count == static_cast<std::size_t>(ch.wireFaces()) * ncomp,
+            "flux-correction payload size mismatch");
+    RealArray4& flux = ch.receiver->flux(ch.dir);
+    std::size_t idx = 0;
+    for (int n = 0; n < ncomp; ++n)
+        for (int K = ch.recvFaces.k.lo; K <= ch.recvFaces.k.hi; ++K)
+            for (int J = ch.recvFaces.j.lo; J <= ch.recvFaces.j.hi; ++J)
+                for (int I = ch.recvFaces.i.lo; I <= ch.recvFaces.i.hi;
+                     ++I)
+                    flux(n, K, J, I) = payload[idx++];
 }
 
 void
@@ -563,19 +661,7 @@ GhostExchange::unpackFlux(const FluxChannel& ch, const Message& msg)
                    static_cast<double>(ch.recvFaces.i.count()));
     if (!ctx.executing())
         return;
-    // One size check up front, then unchecked indexing in the per-face
-    // loop — the same hoist the bounds-unpack path received.
-    require(msg.payload.size() ==
-                static_cast<std::size_t>(ch.wireFaces()) * ncomp,
-            "flux-correction payload size mismatch");
-    RealArray4& flux = ch.receiver->flux(ch.dir);
-    std::size_t idx = 0;
-    for (int n = 0; n < ncomp; ++n)
-        for (int K = ch.recvFaces.k.lo; K <= ch.recvFaces.k.hi; ++K)
-            for (int J = ch.recvFaces.j.lo; J <= ch.recvFaces.j.hi; ++J)
-                for (int I = ch.recvFaces.i.lo; I <= ch.recvFaces.i.hi;
-                     ++I)
-                    flux(n, K, J, I) = msg.payload[idx++];
+    unpackFluxChannel(ch, msg.payload.data(), msg.payload.size());
 }
 
 void
@@ -634,6 +720,322 @@ GhostExchange::applyPhysicalBoundariesBlock(MeshBlock& block)
         clamp_fill(0, ks - 1, 0, nj - 1, 0, ni - 1);
     if (shape.ndim >= 3 && at_boundary(2, +1))
         clamp_fill(ke + 1, nk - 1, 0, nj - 1, 0, ni - 1);
+}
+
+// ---------------------------------------------------------------------
+// Fused BoundaryPlan path (<exec> fused_boundaries).
+//
+// Every function below requires a current plan: the driver's graph
+// builders (and the monolithic exchange entry points) call
+// plan_.ensureBuilt() at a serial point first, and the accessors
+// themselves panic on a stale generation. ensureBuilt() is NEVER
+// called from in here — a rebuild racing a fused launch would be a
+// data race on the plan tables.
+// ---------------------------------------------------------------------
+
+std::vector<int>
+GhostExchange::fusedSendIds(PlanPhase phase) const
+{
+    if (mesh_->sharded())
+        return plan_.sendIds(phase, mesh_->shardRank());
+    // A classic mesh steps every block, so it plays all ranks' parts.
+    std::vector<int> ids(plan_.messages(phase).size());
+    for (std::size_t m = 0; m < ids.size(); ++m)
+        ids[m] = static_cast<int>(m);
+    return ids;
+}
+
+std::vector<int>
+GhostExchange::fusedRecvIds(PlanPhase phase) const
+{
+    if (mesh_->sharded())
+        return plan_.recvIds(phase, mesh_->shardRank());
+    std::vector<int> ids(plan_.messages(phase).size());
+    for (std::size_t m = 0; m < ids.size(); ++m)
+        ids[m] = static_cast<int>(m);
+    return ids;
+}
+
+void
+GhostExchange::startReceiveBoundBufsFused()
+{
+    // Same per-cycle reset contract as startReceiveBoundBufs().
+    last_wire_cells_.store(0);
+    last_messages_.store(0);
+    last_send_bytes_.store(0);
+    if (!world_->concurrent())
+        discardStaleDeliveries();
+    const std::vector<int> inbound = fusedRecvIds(PlanPhase::Bounds);
+    pending_receives_.store(inbound.size());
+    // One coalesced buffer to prepare per inbound rank pair — this is
+    // the point of the plan: O(ranks) bookkeeping, not O(faces).
+    recordSerialAt(mesh_->ctx(), "StartReceiveBoundBufs",
+                   mesh_->collectiveRank(), "recv_buf_prepare",
+                   static_cast<double>(inbound.size()));
+}
+
+void
+GhostExchange::sendFusedPhase(PlanPhase phase)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    const bool bounds = phase == PlanPhase::Bounds;
+    const auto& msgs = plan_.messages(phase);
+    const std::vector<int> ids = fusedSendIds(phase);
+    if (ids.empty())
+        return;
+
+    // One row per plan entry; each row writes its disjoint payload
+    // slice, so the single launch below is race-free by construction.
+    struct Row
+    {
+        int channel;
+        double* out;
+    };
+    std::size_t nentries = 0;
+    for (int id : ids)
+        nentries += msgs[static_cast<std::size_t>(id)].entries.size();
+    std::vector<std::vector<double>> payloads(ids.size());
+    std::vector<Row> rows;
+    std::vector<int> ranks;
+    std::vector<double> items;
+    ranks.reserve(nentries);
+    items.reserve(nentries);
+    if (ctx.executing())
+        rows.reserve(nentries);
+    double innermost = 0;
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+        const PlanMessage& m = msgs[static_cast<std::size_t>(ids[s])];
+        if (ctx.executing())
+            payloads[s].resize(m.doubles);
+        for (const PlanEntry& e : m.entries) {
+            ranks.push_back(m.src);
+            items.push_back(static_cast<double>(e.count));
+            if (bounds) {
+                const BoundsChannel& ch = cache_->bounds()[e.channel];
+                innermost += rangeCount(
+                    ch.levelDiff == 1 ? ch.recv : ch.send, 0);
+            } else {
+                innermost += cache_->flux()[e.channel].recvFaces.i.count();
+            }
+            if (ctx.executing())
+                rows.push_back({e.channel, payloads[s].data() + e.offset});
+        }
+    }
+
+    // ONE fused launch packs (and restricts) every outbound channel of
+    // the phase — the per-face path pays one launch per block.
+    parForExecRows(
+        ctx, 0, static_cast<int>(rows.size()) - 1, 0, 0,
+        [&](int, int row, int) {
+            const Row& r = rows[static_cast<std::size_t>(row)];
+            if (bounds)
+                packBoundsChannel(cache_->bounds()[r.channel], r.out);
+            else
+                packFluxChannel(cache_->flux()[r.channel], r.out);
+        });
+    recordPackKernelItems(
+        ctx, "SendBoundBufs", "SendBoundBufs", {1.0, 2.0 * sizeof(double)},
+        ranks.data(), items.data(), static_cast<int>(ranks.size()),
+        innermost / static_cast<double>(ranks.size()));
+
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+        const PlanMessage& m = msgs[static_cast<std::size_t>(ids[s])];
+        const bool remote = m.src != m.dst;
+        recordSerialAt(ctx, "SendBoundBufs", m.src,
+                       remote ? "msg_remote" : "msg_local", 1.0);
+        recordSerialAt(ctx, "SendBoundBufs", m.src,
+                       remote ? "msg_remote_bytes" : "msg_local_bytes",
+                       m.bytes);
+        // Directory bookkeeping is one item per entry, but it is paid
+        // once per rank pair, not once per block.
+        recordSerialAt(ctx, "SendBoundBufs", m.src, "bound_buf_metadata",
+                       static_cast<double>(m.entries.size()));
+        if (bounds)
+            last_wire_cells_.fetch_add(m.wireUnits);
+        countSend(m.bytes);
+        world_->isend(m.id, m.src, m.dst, std::move(payloads[s]),
+                      m.bytes);
+    }
+}
+
+void
+GhostExchange::sendBoundBufsFused()
+{
+    sendFusedPhase(PlanPhase::Bounds);
+}
+
+void
+GhostExchange::sendFluxCorrectionsFused()
+{
+    sendFusedPhase(PlanPhase::Flux);
+}
+
+bool
+GhostExchange::pollFusedMessage(const PlanMessage& msg)
+{
+    if (!world_->iprobe(msg.id))
+        return false;
+    // One probe per rank pair, recorded on completion like the
+    // per-block poll tasks.
+    recordSerialAt(mesh_->ctx(), "ReceiveBoundBufs", msg.dst,
+                   "recv_poll", 1.0);
+    return true;
+}
+
+void
+GhostExchange::receiveFusedPhase(PlanPhase phase)
+{
+    const auto& msgs = plan_.messages(phase);
+    const std::vector<int> ids = fusedRecvIds(phase);
+    if (mesh_->sharded()) {
+        // Concurrent peers: poll with a deadline, as the per-face
+        // sharded receive loop does.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(kPeerWaitSeconds);
+        for (int id : ids) {
+            const PlanMessage& m = msgs[static_cast<std::size_t>(id)];
+            while (!world_->iprobe(m.id)) {
+                require(!world_->failed(),
+                        "fused ghost exchange aborted: a peer rank "
+                        "failed");
+                require(std::chrono::steady_clock::now() < deadline,
+                        "fused ghost exchange timed out waiting for "
+                        "the coalesced ",
+                        planPhaseName(phase), " message from rank ",
+                        m.src, " on rank ", m.dst);
+                std::this_thread::yield();
+            }
+        }
+    } else {
+        for (int id : ids)
+            require(world_->iprobe(
+                        msgs[static_cast<std::size_t>(id)].id),
+                    "fused ghost exchange lost a coalesced ",
+                    planPhaseName(phase), " message");
+    }
+    recordSerialAt(mesh_->ctx(), "ReceiveBoundBufs",
+                   mesh_->collectiveRank(), "recv_poll",
+                   static_cast<double>(ids.size()));
+}
+
+void
+GhostExchange::receiveBoundBufsFused()
+{
+    receiveFusedPhase(PlanPhase::Bounds);
+}
+
+void
+GhostExchange::receiveFluxCorrectionsFused()
+{
+    receiveFusedPhase(PlanPhase::Flux);
+}
+
+void
+GhostExchange::setFusedPhase(PlanPhase phase)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    const bool bounds = phase == PlanPhase::Bounds;
+    const int ncomp = mesh_->registry().ncompConserved();
+    const auto& msgs = plan_.messages(phase);
+    const std::vector<int> ids = fusedRecvIds(phase);
+    if (ids.empty())
+        return;
+
+    struct Row
+    {
+        int channel;
+        const double* payload;
+        std::size_t count;
+    };
+    // Reserve up front: rows hold pointers into received payloads, and
+    // a Message move keeps its payload's heap buffer stable.
+    std::vector<Message> received;
+    received.reserve(ids.size());
+    std::vector<Row> rows;
+    std::vector<int> ranks;
+    std::vector<double> items;
+    double innermost = 0;
+    for (int id : ids) {
+        const PlanMessage& m = msgs[static_cast<std::size_t>(id)];
+        auto msg = world_->receive(m.id);
+        require(msg.has_value(), "missing coalesced ",
+                planPhaseName(phase), " message ", m.src, " -> ",
+                m.dst);
+        require(msg->src == m.src && msg->dst == m.dst,
+                "coalesced ", planPhaseName(phase),
+                " message rank mismatch: carried ", msg->src, " -> ",
+                msg->dst, ", expected ", m.src, " -> ", m.dst);
+        require(!ctx.executing() || msg->payload.size() == m.doubles,
+                "coalesced ", planPhaseName(phase),
+                " payload size mismatch: ", msg->payload.size(),
+                " doubles, directory says ", m.doubles);
+        received.push_back(std::move(*msg));
+        const Message& stored = received.back();
+        for (const PlanEntry& e : m.entries) {
+            ranks.push_back(m.dst);
+            if (bounds) {
+                const BoundsChannel& ch = cache_->bounds()[e.channel];
+                items.push_back(static_cast<double>(ch.recv.cells()) *
+                                ncomp);
+                innermost += ch.recv.i.count();
+            } else {
+                const FluxChannel& ch = cache_->flux()[e.channel];
+                items.push_back(static_cast<double>(ch.wireFaces()) *
+                                ncomp);
+                innermost += ch.recvFaces.i.count();
+            }
+            if (ctx.executing())
+                rows.push_back(
+                    {e.channel, stored.payload.data() + e.offset,
+                     e.count});
+        }
+    }
+
+    // ONE fused launch unpacks (and prolongates) every inbound entry.
+    // Each entry writes only its receiver's ghost region (or its own
+    // flux faces), and prolongation's interior fallback reads cells no
+    // unpack writes, so rows are independent.
+    parForExecRows(
+        ctx, 0, static_cast<int>(rows.size()) - 1, 0, 0,
+        [&](int, int row, int) {
+            const Row& r = rows[static_cast<std::size_t>(row)];
+            if (bounds)
+                unpackBoundsChannel(cache_->bounds()[r.channel],
+                                    r.payload, r.count);
+            else
+                unpackFluxChannel(cache_->flux()[r.channel], r.payload,
+                                  r.count);
+        });
+    const KernelCosts costs =
+        bounds ? KernelCosts{1.0, 2.0 * sizeof(double)}
+               : KernelCosts{0.0, 2.0 * sizeof(double)};
+    recordPackKernelItems(ctx, "SetBounds", "SetBounds", costs,
+                          ranks.data(), items.data(),
+                          static_cast<int>(ranks.size()),
+                          innermost /
+                              static_cast<double>(ranks.size()));
+    if (bounds) {
+        for (int id : ids) {
+            const PlanMessage& m = msgs[static_cast<std::size_t>(id)];
+            recordSerialAt(ctx, "SetBounds", m.dst,
+                           "bound_buf_metadata",
+                           static_cast<double>(m.entries.size()));
+        }
+        pending_receives_.fetch_sub(ids.size());
+    }
+}
+
+void
+GhostExchange::setBoundsFused()
+{
+    setFusedPhase(PlanPhase::Bounds);
+}
+
+void
+GhostExchange::setFluxCorrectionsFused()
+{
+    setFusedPhase(PlanPhase::Flux);
 }
 
 } // namespace vibe

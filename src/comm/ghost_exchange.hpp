@@ -34,6 +34,19 @@
  * mailbox entries from a cycle that threw) is reset at the top of
  * startReceiveBoundBufs(), so an exchange aborted mid-cycle can never
  * leave the next one waiting on phantom messages.
+ *
+ * A third granularity sits on top of both (<exec> fused_boundaries,
+ * default on): the BoundaryPlan path. All pack (or unpack) work for a
+ * phase runs as ONE fused launch over the plan's buffer table, and all
+ * traffic per (src rank, dst rank) pair per phase travels as ONE
+ * coalesced mailbox message. The per-channel pack/unpack arithmetic is
+ * shared verbatim with the per-face path (packBoundsChannel and
+ * friends), every channel writes a disjoint payload slice or receiver
+ * region, and prolongation's interior fallback reads cells no unpack
+ * writes — so the fused path is bitwise identical to the per-face path
+ * at any thread or rank count. The plan must be current
+ * (BoundaryPlan::ensureBuilt() at a serial point — the driver's graph
+ * builders do this) before any fused phase function runs.
  */
 #pragma once
 
@@ -41,6 +54,7 @@
 #include <cstdint>
 
 #include "comm/boundary_buffers.hpp"
+#include "comm/boundary_plan.hpp"
 #include "comm/rank_world.hpp"
 #include "mesh/mesh.hpp"
 
@@ -96,8 +110,61 @@ class GhostExchange
     /** Physical-boundary fill for one block (task-graph node). */
     void applyPhysicalBoundariesBlock(MeshBlock& block);
 
+    // --- Fused BoundaryPlan path (<exec> fused_boundaries) -----------
+
+    /** True when this run routes boundaries through the plan. */
+    bool fused() const { return mesh_->config().fusedBoundaries; }
+
+    /** The plan (lazily rebuilt; see BoundaryPlan's lifecycle). */
+    BoundaryPlan& plan() { return plan_; }
+    const BoundaryPlan& plan() const { return plan_; }
+
+    /**
+     * Coalesced messages this replica sends / expects for `phase`:
+     * the shard rank's pairs on a sharded replica, every pair on a
+     * classic mesh (which steps all blocks). Plan must be current.
+     */
+    std::vector<int> fusedSendIds(PlanPhase phase) const;
+    std::vector<int> fusedRecvIds(PlanPhase phase) const;
+
+    /** Fused counterpart of startReceiveBoundBufs(). */
+    void startReceiveBoundBufsFused();
+    /** Pack all outbound bounds entries (one launch), send each pair. */
+    void sendBoundBufsFused();
+    /**
+     * Probe one coalesced message (task-graph poll node); records the
+     * polling cost on success.
+     */
+    bool pollFusedMessage(const PlanMessage& msg);
+    /** Blocking poll for every inbound bounds message (monolithic). */
+    void receiveBoundBufsFused();
+    /** Receive + one fused unpack launch over all inbound entries. */
+    void setBoundsFused();
+
+    /** Pack all outbound flux entries (one launch), send each pair. */
+    void sendFluxCorrectionsFused();
+    /** Blocking poll for every inbound flux message (monolithic). */
+    void receiveFluxCorrectionsFused();
+    /** Receive + one fused unpack launch over the flux entries. */
+    void setFluxCorrectionsFused();
+
     /** Ghost cells moved in the most recent exchange cycle. */
     std::int64_t lastWireCells() const { return last_wire_cells_.load(); }
+
+    /**
+     * Boundary messages sent / modeled bytes since the last
+     * startReceiveBoundBufs (bounds + flux, both paths). The driver
+     * folds these into CycleStats so benches can report the per-face
+     * vs fused coalescing win per cycle.
+     */
+    std::uint64_t lastBoundaryMessages() const
+    {
+        return last_messages_.load();
+    }
+    double lastBoundaryBytes() const
+    {
+        return static_cast<double>(last_send_bytes_.load());
+    }
 
   private:
     void packAndSend(const BoundsChannel& ch);
@@ -105,11 +172,46 @@ class GhostExchange
     void packAndSendFlux(const FluxChannel& ch);
     void unpackFlux(const FluxChannel& ch, const Message& msg);
 
+    /** Payload doubles for one bounds / flux channel. */
+    std::size_t boundsPayloadCount(const BoundsChannel& ch) const;
+    std::size_t fluxPayloadCount(const FluxChannel& ch) const;
+
+    // Shared per-channel payload arithmetic: the per-face and fused
+    // paths both call these, so their payloads agree bit for bit.
+    void packBoundsChannel(const BoundsChannel& ch, double* out) const;
+    void unpackBoundsChannel(const BoundsChannel& ch,
+                             const double* payload,
+                             std::size_t count) const;
+    void packFluxChannel(const FluxChannel& ch, double* out) const;
+    void unpackFluxChannel(const FluxChannel& ch, const double* payload,
+                           std::size_t count) const;
+
+    /** Shared body of the two fused send phases. */
+    void sendFusedPhase(PlanPhase phase);
+    /** Shared body of the two fused receive-poll phases. */
+    void receiveFusedPhase(PlanPhase phase);
+    /** Shared body of the two fused set phases. */
+    void setFusedPhase(PlanPhase phase);
+
+    /** Account one boundary send against the per-cycle counters. */
+    void countSend(double bytes);
+
+    /**
+     * Discard stale mailbox deliveries from an aborted cycle (both
+     * per-face and coalesced formats). Classic worlds only — see the
+     * body for why the sweep is wrong with concurrent rank drivers.
+     */
+    void discardStaleDeliveries();
+
     Mesh* mesh_;
     RankWorld* world_;
     BoundaryBufferCache* cache_;
+    BoundaryPlan plan_;
     std::atomic<std::int64_t> last_wire_cells_{0};
     std::atomic<std::uint64_t> pending_receives_{0};
+    std::atomic<std::uint64_t> last_messages_{0};
+    /** Modeled bytes are integral (cells x components x 8). */
+    std::atomic<std::int64_t> last_send_bytes_{0};
 };
 
 } // namespace vibe

@@ -41,6 +41,10 @@ RankWorld::isend(const ChannelId& channel, int src, int dst,
         ++traffic_.remoteMessages;
         traffic_.remoteBytes += bytes;
     }
+    if (channel.kind != ChannelKind::Block) {
+        ++traffic_.boundaryMessages;
+        traffic_.boundaryBytes += bytes;
+    }
     mailboxes_[channel].push_back({src, dst, std::move(payload), bytes});
     ++pending_total_;
 }

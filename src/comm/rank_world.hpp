@@ -45,6 +45,11 @@ enum class ChannelKind : std::uint8_t
     Bounds = 0, ///< Ghost-cell boundary buffers.
     Flux = 1,   ///< Flux-correction faces.
     Block = 2,  ///< Whole-block state (migration, remote restriction).
+    /** All Bounds payloads between one (src, dst) rank pair, fused
+     *  into a single message with an offset directory (BoundaryPlan). */
+    CoalescedBounds = 3,
+    /** All Flux payloads between one (src, dst) rank pair, fused. */
+    CoalescedFlux = 4,
 };
 
 /**
@@ -67,6 +72,24 @@ struct ChannelIdHash
     std::size_t operator()(const ChannelId& id) const;
 };
 
+/**
+ * Mailbox channel for one coalesced (src rank -> dst rank) boundary
+ * message. Rank indices are encoded in the location fields at level -1,
+ * which no real block can occupy (tree levels are >= 0), so coalesced
+ * channels can never collide with per-face or Block channels.
+ */
+inline ChannelId
+coalescedChannelId(int src, int dst, ChannelKind kind)
+{
+    ChannelId id;
+    id.sender.level = -1;
+    id.sender.lx1 = src;
+    id.receiver.level = -1;
+    id.receiver.lx1 = dst;
+    id.kind = kind;
+    return id;
+}
+
 /** One in-flight message. */
 struct Message
 {
@@ -87,6 +110,16 @@ struct Traffic
     double collectiveBytes = 0;
     std::uint64_t probes = 0;
     std::uint64_t tests = 0;
+    /**
+     * Boundary-payload messages (Bounds/Flux and their coalesced
+     * forms; Block migration traffic excluded) and their modeled
+     * bytes. Both are subsets of the local/remote totals above — they
+     * isolate the ghost-exchange term the BoundaryPlan coalesces, so
+     * benches can report messagesPerCycle / boundaryBytesPerCycle for
+     * the per-face and fused paths side by side.
+     */
+    std::uint64_t boundaryMessages = 0;
+    double boundaryBytes = 0;
 
     std::uint64_t totalMessages() const
     {

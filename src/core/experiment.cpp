@@ -69,6 +69,7 @@ Experiment::run() const
     mesh_config.optimizeAuxMemory = spec.optimizeAuxMemory;
     mesh_config.numThreads = spec.numThreads;
     mesh_config.numRanks = spec.numRanks;
+    mesh_config.fusedBoundaries = spec.fusedBoundaries;
 
     DriverConfig driver_config;
     driver_config.ncycles = spec.ncycles;

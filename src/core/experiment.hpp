@@ -63,6 +63,13 @@ struct ExperimentSpec
      * `numeric`; results are bitwise identical to numRanks = 1.
      */
     int numRanks = 1;
+    /**
+     * Route boundary exchanges through the fused BoundaryPlan path
+     * (the `exec/fused_boundaries` knob, default on). Off selects the
+     * per-face path; results are bitwise identical either way, so the
+     * benches sweep both to isolate the coalescing win.
+     */
+    bool fusedBoundaries = true;
 
     // Platform.
     PlatformConfig platform = PlatformConfig::gpu(1, 1);
@@ -100,6 +107,33 @@ struct ExperimentResult
         return wallSeconds > 0
                    ? static_cast<double>(zoneCycles) / wallSeconds
                    : 0.0;
+    }
+
+    /**
+     * Mean boundary messages per cycle over the run (all ranks,
+     * bounds + flux). The fused path coalesces this from
+     * O(faces) to O(adjacent rank pairs) per phase.
+     */
+    double messagesPerCycle() const
+    {
+        if (history.empty())
+            return 0.0;
+        std::uint64_t total = 0;
+        for (const CycleStats& c : history)
+            total += c.boundaryMessages;
+        return static_cast<double>(total) /
+               static_cast<double>(history.size());
+    }
+
+    /** Mean modeled boundary bytes per cycle (invariant across paths). */
+    double boundaryBytesPerCycle() const
+    {
+        if (history.empty())
+            return 0.0;
+        double total = 0;
+        for (const CycleStats& c : history)
+            total += c.boundaryBytes;
+        return total / static_cast<double>(history.size());
     }
 
     /** Full profiler copy (opcode model, Table III, breakdowns). */

@@ -37,9 +37,14 @@ EvolutionDriver::EvolutionDriver(Mesh& mesh,
 {
     dt_ = config_.fixedDt;
     // The buffer cache is rebuilt on exactly the events that stale the
-    // pack's view tables (restructure, load-balance moves); ride that
-    // hook instead of tracking remesh events separately.
-    cache_.setRebuildHook([this] { pack_.invalidate(); });
+    // pack's view tables AND the boundary plan's message directory
+    // (restructure, load-balance moves); ride that hook instead of
+    // tracking remesh events separately. Both invalidations are cheap
+    // flag flips — the rebuilds happen lazily at the next serial point.
+    cache_.setRebuildHook([this] {
+        pack_.invalidate();
+        exchange_.plan().invalidate();
+    });
 }
 
 void
@@ -126,6 +131,8 @@ EvolutionDriver::doCycle()
 
     const std::int64_t wire_before = comm_cells_;
     const std::int64_t faces_before = comm_faces_;
+    const std::uint64_t msgs_before = boundary_messages_;
+    const double bytes_before = boundary_bytes_;
 
     step();
 
@@ -143,6 +150,8 @@ EvolutionDriver::doCycle()
 
     stats.wireCells = comm_cells_ - wire_before;
     stats.wireFaces = comm_faces_ - faces_before;
+    stats.boundaryMessages = boundary_messages_ - msgs_before;
+    stats.boundaryBytes = boundary_bytes_ - bytes_before;
     stats.refined = last_refined_;
     stats.derefined = last_derefined_;
     stats.movedBlocks = last_moved_;
@@ -189,7 +198,9 @@ EvolutionDriver::step()
 
     saveState(*mesh_);
     for (int stage = 1; stage <= 2; ++stage) {
-        TaskList tl = buildStageGraph(stage, fc);
+        TaskList tl = exchange_.fused()
+                          ? buildStageGraphFused(stage, fc)
+                          : buildStageGraph(stage, fc);
         tl.execute(stageExecOptions());
         task_wall_seconds_ += tl.lastExecuteSeconds();
         task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
@@ -197,6 +208,8 @@ EvolutionDriver::step()
             tl.categorySeconds(TaskCategory::Compute);
 
         comm_cells_ += exchange_.lastWireCells();
+        boundary_messages_ += exchange_.lastBoundaryMessages();
+        boundary_bytes_ += exchange_.lastBoundaryBytes();
         if (fc)
             comm_faces_ += mesh_->sharded()
                                ? cache_.totalWireFacesFor(
@@ -237,7 +250,8 @@ EvolutionDriver::stepPacked(bool flux_correction)
 
     saveStatePack(*mesh_, pack);
     for (int stage = 1; stage <= 2; ++stage) {
-        TaskList bounds = buildBoundsGraph();
+        TaskList bounds = exchange_.fused() ? buildBoundsGraphFused()
+                                            : buildBoundsGraph();
         bounds.execute(options);
         task_wall_seconds_ += bounds.lastExecuteSeconds();
         task_comm_seconds_ +=
@@ -250,7 +264,9 @@ EvolutionDriver::stepPacked(bool flux_correction)
                 .count();
 
         if (flux_correction) {
-            TaskList fcorr = buildFluxCorrGraph();
+            TaskList fcorr = exchange_.fused()
+                                 ? buildFluxCorrGraphFused()
+                                 : buildFluxCorrGraph();
             fcorr.execute(options);
             task_wall_seconds_ += fcorr.lastExecuteSeconds();
             task_comm_seconds_ +=
@@ -267,6 +283,8 @@ EvolutionDriver::stepPacked(bool flux_correction)
         task_compute_seconds_ += fused_seconds;
 
         comm_cells_ += exchange_.lastWireCells();
+        boundary_messages_ += exchange_.lastBoundaryMessages();
+        boundary_bytes_ += exchange_.lastBoundaryBytes();
         if (flux_correction)
             comm_faces_ += mesh_->sharded()
                                ? cache_.totalWireFacesFor(
@@ -300,6 +318,181 @@ EvolutionDriver::buildFluxCorrGraph()
     TaskList tl;
     for (MeshBlock* block : mesh_->ownedBlocks())
         addFluxCorrTasks(tl, block, {});
+    return tl;
+}
+
+EvolutionDriver::FusedBoundsIds
+EvolutionDriver::addFusedBoundsTasks(TaskList& tl)
+{
+    const TaskId t_start = tl.addTask(
+        "StartReceiveBoundBufs",
+        [this] {
+            exchange_.startReceiveBoundBufsFused();
+            return TaskStatus::Complete;
+        },
+        {}, TaskCategory::Comm);
+    FusedBoundsIds ids;
+    ids.send = tl.addTask(
+        "SendBoundBufs:plan:bounds",
+        [this] {
+            exchange_.sendBoundBufsFused();
+            return TaskStatus::Complete;
+        },
+        {t_start}, TaskCategory::Comm);
+    // One poll per inbound coalesced message — O(rank pairs), where
+    // the per-face graph polls O(blocks). Self-pair polls depend only
+    // on t_start: the send task has no poll dependencies, so the
+    // executor always reaches it and the polls then complete.
+    std::vector<TaskId> polls;
+    const auto& msgs = exchange_.plan().messages(PlanPhase::Bounds);
+    for (int id : exchange_.fusedRecvIds(PlanPhase::Bounds)) {
+        const PlanMessage* m = &msgs[static_cast<std::size_t>(id)];
+        polls.push_back(tl.addTask(
+            "ReceiveBoundBufs:plan:bounds:r" + std::to_string(m->src) +
+                ">r" + std::to_string(m->dst),
+            [this, m] {
+                return exchange_.pollFusedMessage(*m)
+                           ? TaskStatus::Complete
+                           : TaskStatus::Iterate;
+            },
+            {t_start}, TaskCategory::Comm));
+    }
+    ids.set = tl.addTask(
+        "SetBounds:plan:bounds",
+        [this] {
+            exchange_.setBoundsFused();
+            // Physical fills run after ALL unpacks, preserving each
+            // block's per-face order (unpack, then fill).
+            for (MeshBlock* block : mesh_->ownedBlocks())
+                exchange_.applyPhysicalBoundariesBlock(*block);
+            return TaskStatus::Complete;
+        },
+        std::move(polls), TaskCategory::Comm);
+    return ids;
+}
+
+TaskId
+EvolutionDriver::addFusedFluxCorrTasks(TaskList& tl,
+                                       std::vector<TaskId> deps)
+{
+    const TaskId t_fsend = tl.addTask(
+        "FluxCorrSend:plan:flux",
+        [this] {
+            exchange_.sendFluxCorrectionsFused();
+            return TaskStatus::Complete;
+        },
+        std::move(deps), TaskCategory::Comm);
+    std::vector<TaskId> apply_deps{t_fsend};
+    const auto& msgs = exchange_.plan().messages(PlanPhase::Flux);
+    for (int id : exchange_.fusedRecvIds(PlanPhase::Flux)) {
+        const PlanMessage* m = &msgs[static_cast<std::size_t>(id)];
+        apply_deps.push_back(tl.addTask(
+            "FluxCorrRecv:plan:flux:r" + std::to_string(m->src) +
+                ">r" + std::to_string(m->dst),
+            [this, m] {
+                return exchange_.pollFusedMessage(*m)
+                           ? TaskStatus::Complete
+                           : TaskStatus::Iterate;
+            },
+            {t_fsend}, TaskCategory::Comm));
+    }
+    return tl.addTask(
+        "FluxCorrApply:plan:flux",
+        [this] {
+            exchange_.setFluxCorrectionsFused();
+            return TaskStatus::Complete;
+        },
+        std::move(apply_deps), TaskCategory::Comm);
+}
+
+/**
+ * One RK stage over the boundary plan: the comm side of the graph
+ * collapses from O(blocks x faces) tasks to O(rank pairs) — one fused
+ * send, one poll per inbound coalesced message, one fused set — while
+ * the per-block compute chain is unchanged. The tradeoff mirrors
+ * pack_interior: per-block receive/compute overlap is traded for one
+ * launch (and one message) per phase per rank pair.
+ */
+TaskList
+EvolutionDriver::buildStageGraphFused(int stage, bool flux_correction)
+{
+    // Serial point: if the rebuild hook fired, the plan rebuild
+    // happens here, before any task can read the tables.
+    exchange_.plan().ensureBuilt();
+    TaskList tl;
+    tl.setLabel("plan:bounds+flux stage " + std::to_string(stage));
+    const FusedBoundsIds bounds = addFusedBoundsTasks(tl);
+
+    const bool serialize_flux =
+        mesh_->config().optimizeAuxMemory &&
+        mesh_->ctx().space().concurrency() > 1;
+    TaskId prev_flux = -1;
+
+    const std::vector<MeshBlock*>& owned = mesh_->ownedBlocks();
+    std::vector<TaskId> flux_tasks;
+    flux_tasks.reserve(owned.size());
+    for (MeshBlock* block : owned) {
+        std::vector<TaskId> flux_deps{bounds.set};
+        if (serialize_flux && prev_flux >= 0)
+            flux_deps.push_back(prev_flux);
+        const TaskId t_flux = tl.addTask(
+            "CalculateFluxes:" + std::to_string(block->gid()),
+            [this, block] {
+                package_->calculateFluxesBlock(*mesh_, *block);
+                return TaskStatus::Complete;
+            },
+            std::move(flux_deps));
+        prev_flux = t_flux;
+        flux_tasks.push_back(t_flux);
+    }
+
+    // The fused correction gates every divergence: corrections only
+    // flow once all fluxes exist, exactly as the per-face path orders
+    // each block's send before its apply.
+    TaskId t_fapply = -1;
+    if (flux_correction)
+        t_fapply = addFusedFluxCorrTasks(tl, flux_tasks);
+
+    for (std::size_t b = 0; b < owned.size(); ++b) {
+        MeshBlock* block = owned[b];
+        const std::string gid = std::to_string(block->gid());
+        const TaskId t_div = tl.addTask(
+            "FluxDivergence:" + gid,
+            [this, block] {
+                package_->fluxDivergenceBlock(*mesh_, *block);
+                return TaskStatus::Complete;
+            },
+            {flux_correction ? t_fapply : flux_tasks[b]});
+        // As in the per-face graph: the update rewrites the interior
+        // the fused send reads, so it must trail the send task.
+        tl.addTask(
+            "WeightedSumData:" + gid,
+            [this, block, stage] {
+                stageUpdateBlock(*mesh_, *block, stage, dt_);
+                return TaskStatus::Complete;
+            },
+            {t_div, bounds.send});
+    }
+    return tl;
+}
+
+TaskList
+EvolutionDriver::buildBoundsGraphFused()
+{
+    exchange_.plan().ensureBuilt();
+    TaskList tl;
+    tl.setLabel("plan:bounds");
+    addFusedBoundsTasks(tl);
+    return tl;
+}
+
+TaskList
+EvolutionDriver::buildFluxCorrGraphFused()
+{
+    exchange_.plan().ensureBuilt();
+    TaskList tl;
+    tl.setLabel("plan:flux");
+    addFusedFluxCorrTasks(tl, {});
     return tl;
 }
 
@@ -570,6 +763,9 @@ EvolutionDriver::applyRestructureData(
                 channel.sender = child->loc();
                 channel.receiver = derefined.parent->loc();
                 channel.kind = ChannelKind::Block;
+                // vibe-lint: allow(coalesced-comm) ChannelKind::Block
+                // derefinement octant, not boundary traffic; sent at a
+                // collectively synchronized restructure point.
                 world_->isend(channel, my_rank, parent_rank,
                               std::move(payload), bytes);
             }

@@ -69,6 +69,15 @@ struct CycleStats
      * counterpart is LoadBalanceStats::movedBytes.
      */
     double migratedStorageBytes = 0;
+    /**
+     * Boundary messages sent this cycle (bounds + flux corrections,
+     * local and remote; block migration excluded) and their modeled
+     * payload bytes. Under the fused boundary plan the message count
+     * drops from O(blocks x faces) to O(rank pairs) per phase while
+     * the bytes stay identical — the benches report both per cycle.
+     */
+    std::uint64_t boundaryMessages = 0;
+    double boundaryBytes = 0;
     double mass = 0;                ///< History output (numeric mode).
 };
 
@@ -160,6 +169,30 @@ class EvolutionDriver
     TaskList buildBoundsGraph();
     /** Flux-correction-only task graph (send/poll/apply per block). */
     TaskList buildFluxCorrGraph();
+
+    /** Ids of the fused (boundary-plan) ghost-bounds task chain. */
+    struct FusedBoundsIds
+    {
+        TaskId send = -1, set = -1;
+    };
+    /**
+     * Add the fused bounds chain: start -> one fused send -> one poll
+     * per inbound coalesced message -> one fused set. O(rank pairs)
+     * tasks per phase instead of O(blocks). Requires a current plan
+     * (the fused builders call ensureBuilt() first, at a serial point).
+     */
+    FusedBoundsIds addFusedBoundsTasks(TaskList& tl);
+    /**
+     * Add the fused flux-correction chain gated on `deps`; returns the
+     * apply task id.
+     */
+    TaskId addFusedFluxCorrTasks(TaskList& tl, std::vector<TaskId> deps);
+    /** Fused-path counterpart of buildStageGraph. */
+    TaskList buildStageGraphFused(int stage, bool flux_correction);
+    /** Fused-path counterpart of buildBoundsGraph. */
+    TaskList buildBoundsGraphFused();
+    /** Fused-path counterpart of buildFluxCorrGraph. */
+    TaskList buildFluxCorrGraphFused();
     /** Execution options for stage graphs (space + peer-wait policy). */
     TaskExecOptions stageExecOptions() const;
     void loadBalancingAndAmr();
@@ -201,6 +234,8 @@ class EvolutionDriver
     std::int64_t zone_cycles_ = 0;
     std::int64_t comm_cells_ = 0;
     std::int64_t comm_faces_ = 0;
+    std::uint64_t boundary_messages_ = 0;
+    double boundary_bytes_ = 0;
     double task_wall_seconds_ = 0;
     double task_comm_seconds_ = 0;
     double task_compute_seconds_ = 0;

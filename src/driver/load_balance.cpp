@@ -108,6 +108,9 @@ loadBalance(Mesh& mesh, RankWorld& world)
             std::vector<double> payload = block.serializeState();
             const double bytes =
                 static_cast<double>(payload.size()) * sizeof(double);
+            // vibe-lint: allow(coalesced-comm) ChannelKind::Block
+            // migration payload, not boundary traffic; one message per
+            // moved block at a collectively synchronized point.
             world.isend(migrationChannel(block.loc()), my_rank,
                         new_rank[b], std::move(payload), bytes);
             block.dematerialize();

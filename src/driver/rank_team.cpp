@@ -160,6 +160,8 @@ RankTeam::aggregatedHistory() const
         for (std::size_t c = 0; c < history.size(); ++c) {
             history[c].wireCells += other[c].wireCells;
             history[c].wireFaces += other[c].wireFaces;
+            history[c].boundaryMessages += other[c].boundaryMessages;
+            history[c].boundaryBytes += other[c].boundaryBytes;
         }
     }
     return history;

@@ -88,6 +88,10 @@ TaskList::incompleteNames() const
             names += ", ";
         names += task.name;
     }
+    // Every stall/deadlock panic routes through here, so the label
+    // (e.g. "plan:bounds stage 1") lands in all of their reports.
+    if (!label_.empty())
+        return "[" + label_ + "] " + names;
     return names;
 }
 

@@ -110,6 +110,14 @@ class TaskList
     /** Number of tasks added. */
     std::size_t size() const { return tasks_.size(); }
 
+    /**
+     * Label this graph for diagnostics: stall/deadlock panics prefix
+     * the incomplete-task listing with it, so a report names the graph
+     * (e.g. the boundary-plan phase) and not just its task names.
+     */
+    void setLabel(std::string label) { label_ = std::move(label); }
+    const std::string& label() const { return label_; }
+
     /** Run all tasks to completion on the serial backend. */
     void execute(int max_passes = 1000);
 
@@ -157,6 +165,7 @@ class TaskList
 
     std::vector<Task> tasks_;
     std::vector<std::string> completion_order_;
+    std::string label_;
     double last_execute_seconds_ = 0;
 };
 

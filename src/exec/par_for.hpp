@@ -576,6 +576,39 @@ recordPackKernel(const ExecContext& ctx, std::string_view phase,
 }
 
 /**
+ * recordPackKernel for irregular fused launches (boundary-plan pack
+ * and unpack, where table rows are whole channels of varying volume):
+ * per-entry item counts instead of one uniform per-block volume. The
+ * launch count is 1 (it is one kernel); items are attributed per rank
+ * by runs of equal rank in entry order, so per-rank load tables match
+ * the per-face task path.
+ */
+inline void
+recordPackKernelItems(const ExecContext& ctx, std::string_view phase,
+                      std::string_view name, const KernelCosts& costs,
+                      const int* ranks, const double* items, int n,
+                      double innermost)
+{
+    if (!ctx.profiler() || n <= 0)
+        return;
+    std::uint64_t launches = 1;
+    int e = 0;
+    while (e < n) {
+        const int rank = ranks[e];
+        double run_items = 0;
+        while (e < n && ranks[e] == rank) {
+            run_items += items[e];
+            ++e;
+        }
+        ctx.profiler()->record({name, phase, rank, launches, run_items,
+                                run_items * costs.flopsPerItem,
+                                run_items * costs.bytesPerItem,
+                                launches ? innermost : 0.0});
+        launches = 0;
+    }
+}
+
+/**
  * Fused pack kernel: records one launch (per-rank item attribution)
  * and dispatches the packed row domain. Body as in parForPackExec;
  * [il, iu] enters the work accounting only — the body owns the loop.

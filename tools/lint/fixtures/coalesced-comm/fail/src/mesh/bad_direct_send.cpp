@@ -1,0 +1,6 @@
+// Fixture: a per-face boundary send outside the exchange — must trip
+// coalesced-comm.
+void leakBoundary(RankWorld& world, const Channel& ch)
+{
+    world.isend(ch.id, ch.src, ch.dst, packFace(ch), ch.bytes());
+}

@@ -1,0 +1,7 @@
+// Fixture: the boundary exchange itself is the audited home of
+// mailbox sends — exempt by path.
+void sendFused(RankWorld& world, Message msg, double bytes)
+{
+    world.isend(msg.id, msg.src, msg.dst, std::move(msg.payload),
+                bytes);
+}

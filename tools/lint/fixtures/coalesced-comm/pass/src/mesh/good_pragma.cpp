@@ -1,0 +1,9 @@
+// Fixture: non-boundary traffic with an audited justification — the
+// pragma covers the send that follows it.
+void migrate(RankWorld& world, Block& block, int src, int dst)
+{
+    // vibe-lint: allow(coalesced-comm) ChannelKind::Block migration
+    // payload, not boundary traffic.
+    world.isend(migrationChannel(block), src, dst,
+                block.serializeState(), block.bytes());
+}

@@ -127,6 +127,32 @@ RULES = [
         ),
     ),
     Rule(
+        name="coalesced-comm",
+        scope=("src/",),
+        exempt=(
+            "src/comm/boundary_plan.cpp",
+            "src/comm/ghost_exchange.cpp",
+            "src/comm/rank_world.",
+        ),
+        pattern=r"(?:\.|->)\s*isend\s*\(",
+        message=(
+            "no direct RankWorld mailbox sends outside the boundary "
+            "exchange (route boundary traffic through the "
+            "BoundaryPlan / GhostExchange paths)"
+        ),
+        rationale=(
+            "The fused BoundaryPlan path guarantees all boundary "
+            "traffic per (src, dst, phase) travels as ONE coalesced "
+            "message whose offset directory both endpoints derive "
+            "independently; a stray per-face isend elsewhere would "
+            "bypass the directory, break the message-count accounting "
+            "(CycleStats.boundaryMessages), and reintroduce the "
+            "O(faces) message storm the plan exists to remove. "
+            "Non-boundary traffic (block migration payloads) is the "
+            "audited exception: pragma it with the ChannelKind."
+        ),
+    ),
+    Rule(
         name="ordered-containers",
         scope=("src/comm/", "src/driver/", "src/exec/", "src/solver/"),
         exempt=(),
