@@ -181,11 +181,33 @@ RankWorld::allReduceValue(int rank, double value, CollOp op,
 }
 
 void
-RankWorld::markFailed()
+RankWorld::markFailed(const std::string& reason)
 {
-    failed_.store(true);
+    // Record the reason before publishing failed_: a waiter that
+    // observes failed_ always re-acquires coll_mutex_ (condvar wakeup
+    // or the next failureReason() call) before reading the string, so
+    // it sees this write.
+    {
+        LockGuard lock(coll_mutex_);
+        if (failure_reason_.empty() && !reason.empty())
+            failure_reason_ = reason;
+        failed_.store(true);
+        coll_cv_.notify_all();
+    }
+}
+
+std::string
+RankWorld::failureReason() const
+{
     LockGuard lock(coll_mutex_);
-    coll_cv_.notify_all();
+    return failureReasonLocked();
+}
+
+std::string
+RankWorld::failureReasonLocked() const
+{
+    return failure_reason_.empty() ? std::string("a peer rank failed")
+                                   : failure_reason_;
 }
 
 std::shared_ptr<void>
@@ -196,7 +218,9 @@ RankWorld::rendezvous(int rank, const void* contribution,
     require(rank >= 0 && rank < nranks_,
             "collective rank out of range: ", rank);
     UniqueLock lock(coll_mutex_);
-    require(!failed_.load(), "collective entered after a rank failed");
+    if (failed_.load())
+        panic("collective entered after a rank failed: ",
+              failureReasonLocked());
     require(coll_slots_[rank] == nullptr,
             "rank ", rank, " entered a collective twice");
     const std::uint64_t my_generation = coll_generation_;
@@ -214,8 +238,15 @@ RankWorld::rendezvous(int rank, const void* contribution,
         // stay in this scope where the capability is visibly held.
         while (coll_generation_ == my_generation && !failed_.load())
             coll_cv_.wait(lock);
-        require(!failed_.load(),
-                "collective aborted: a peer rank failed");
+        // Abort only if the collective genuinely cannot complete. If
+        // the generation advanced, every rank contributed and the
+        // result is ready — a failure flag raised by a peer *after* it
+        // left this collective must not retroactively void it (that
+        // would nondeterministically drop e.g. a checkpoint capture
+        // that already gathered). The failure still stops this rank at
+        // its next collective entry.
+        if (coll_generation_ == my_generation)
+            panic("collective aborted: ", failureReasonLocked());
     }
     // Copy the shared handle under the lock; a next-generation
     // collective cannot complete (and overwrite the result) until this

@@ -30,6 +30,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -235,10 +236,19 @@ class RankWorld
     /**
      * Mark the world failed (a peer rank threw). Wakes every rendezvous
      * waiter with an error so no rank hangs on a dead peer; polling
-     * loops should also consult failed().
+     * loops should also consult failed(). The first non-empty `reason`
+     * (normally the failing rank's original exception message) wins and
+     * is echoed by failureReason() and every abort thrown by waiters.
      */
-    void markFailed();
+    void markFailed(const std::string& reason);
+    void markFailed() { markFailed(std::string()); }
     bool failed() const { return failed_.load(); }
+
+    /**
+     * The recorded failure cause, or a generic "a peer rank failed"
+     * when none was supplied. Meaningful only after failed() is true.
+     */
+    std::string failureReason() const;
 
     /**
      * Snapshot of the cumulative traffic counters, taken under the
@@ -288,14 +298,18 @@ class RankWorld
     std::size_t pending_total_ VIBE_GUARDED_BY(mutex_) = 0;
     Traffic traffic_ VIBE_GUARDED_BY(mutex_);
 
+    /** failureReason() with coll_mutex_ already held (rendezvous). */
+    std::string failureReasonLocked() const VIBE_REQUIRES(coll_mutex_);
+
     // Rendezvous state (own lock: waiters must not stall the mailbox).
-    Mutex coll_mutex_;
+    mutable Mutex coll_mutex_;
     CondVar coll_cv_;
     std::vector<const void*> coll_slots_ VIBE_GUARDED_BY(coll_mutex_);
     std::shared_ptr<void> coll_result_ VIBE_GUARDED_BY(coll_mutex_);
     int coll_arrived_ VIBE_GUARDED_BY(coll_mutex_) = 0;
     std::uint64_t coll_generation_ VIBE_GUARDED_BY(coll_mutex_) = 0;
     std::atomic<bool> failed_{false};
+    std::string failure_reason_ VIBE_GUARDED_BY(coll_mutex_);
 };
 
 template <typename T>

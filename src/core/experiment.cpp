@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "comm/rank_world.hpp"
+#include "driver/fault_injector.hpp"
 #include "driver/rank_team.hpp"
 #include "driver/tagger.hpp"
+#include "io/checkpoint.hpp"
+#include "io/checkpoint_writer.hpp"
 #include "mesh/variable.hpp"
 #include "pkg/package_registry.hpp"
 #include "util/logging.hpp"
@@ -45,7 +49,63 @@ Experiment::run() const
     if (spec.numRanks > 1 && !spec.numeric)
         fatal("rank-sharded execution (numRanks > 1) requires numeric "
               "mode; counting studies model ranks via the platform");
+    if (spec.checkpointEvery > 0 && spec.checkpointPath.empty())
+        fatal("checkpointEvery is set but checkpointPath is empty");
+    if (spec.checkpointEvery > 0 && !spec.numeric)
+        fatal("checkpointing requires numeric mode; counting runs "
+              "materialize no block state to capture");
+    if (spec.maxRestarts > 0 && spec.checkpointEvery <= 0)
+        fatal("maxRestarts needs checkpointEvery > 0: recovery replays "
+              "from the last durable checkpoint");
 
+    // One injector spans every attempt: it fires once, so the retried
+    // run sails past the (rank, cycle) that killed the first attempt.
+    FaultInjector injector(spec.failRank, spec.failCycle);
+    if (!injector.armed())
+        injector = FaultInjector::fromEnv();
+
+    int restarts = 0;
+    double recovery_seconds = 0;
+    std::optional<CheckpointImage> restore;
+    for (;;) {
+        try {
+            ExperimentResult result =
+                runAttempt(injector.armed() ? &injector : nullptr,
+                           restore ? &*restore : nullptr);
+            result.restarts = restarts;
+            result.recoverySeconds = recovery_seconds;
+            return result;
+        } catch (const std::exception& e) {
+            if (spec.checkpointEvery <= 0 ||
+                restarts >= spec.maxRestarts)
+                throw;
+            ++restarts;
+            warn("experiment attempt failed (", e.what(),
+                 "); restarting from checkpoint '", spec.checkpointPath,
+                 "' (restart ", restarts, " of ", spec.maxRestarts, ")");
+            const auto recover_start = std::chrono::steady_clock::now();
+            if (spec.restartBackoffSeconds > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        spec.restartBackoffSeconds));
+            // The reader validates magic/version/CRC, so a snapshot
+            // truncated by the failure is rejected loudly rather than
+            // silently restoring garbage (the writer's tmp+rename
+            // makes that window atomic anyway).
+            restore = CheckpointReader::read(spec.checkpointPath);
+            recovery_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - recover_start)
+                    .count();
+        }
+    }
+}
+
+ExperimentResult
+Experiment::runAttempt(FaultInjector* injector,
+                       const CheckpointImage* restore) const
+{
+    const ExperimentSpec& spec = spec_;
     ExperimentResult result;
     result.spec = spec;
 
@@ -75,6 +135,16 @@ Experiment::run() const
     driver_config.ncycles = spec.ncycles;
     driver_config.fixedDt = spec.fixedDt();
     driver_config.randomizeBufferKeys = spec.randomizeBufferKeys;
+    driver_config.checkpointEvery = spec.checkpointEvery;
+    driver_config.checkpointPath = spec.checkpointPath;
+    driver_config.checkpointAsync = spec.checkpointAsync;
+
+    // The writer outlives the team/driver; its destructor drains any
+    // deposited snapshot even when the attempt unwinds on a failure —
+    // that drained file is exactly what the retry restores from.
+    std::optional<CheckpointWriter> writer;
+    if (spec.checkpointEvery > 0)
+        writer.emplace(spec.checkpointPath, spec.checkpointAsync);
 
     if (spec.numRanks > 1) {
         // Rank-sharded measured path: one driver per rank on its own
@@ -85,7 +155,22 @@ Experiment::run() const
                           return std::make_unique<GradientTagger>(
                               *package);
                       });
+        if (writer)
+            team.setCheckpointWriter(&*writer);
+        if (injector)
+            team.setFaultInjector(injector);
+        if (restore)
+            team.setRestoreImage(restore);
         team.run();
+
+        if (writer) {
+            writer->finish();
+            result.checkpointsWritten =
+                static_cast<int>(writer->snapshots());
+            result.checkpointDrainSeconds = writer->drainSeconds();
+            result.checkpointCaptureSeconds =
+                team.driver(0).checkpointCaptureSeconds();
+        }
 
         KernelProfiler profiler;
         MemoryTracker tracker;
@@ -160,14 +245,30 @@ Experiment::run() const
                      : static_cast<RefinementTagger&>(wave_tagger);
 
     EvolutionDriver driver(mesh, *package, world, tagger, driver_config);
+    if (writer)
+        driver.setCheckpointWriter(&*writer);
+    if (injector)
+        driver.setFaultInjector(injector);
     const auto wall_start = std::chrono::steady_clock::now();
-    driver.initialize();
+    if (restore)
+        driver.initializeFromCheckpoint(*restore);
+    else
+        driver.initialize();
     driver.run();
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() -
                              wall_start)
                              .count();
     result.traffic = world.traffic();
+
+    if (writer) {
+        writer->finish();
+        result.checkpointsWritten =
+            static_cast<int>(writer->snapshots());
+        result.checkpointDrainSeconds = writer->drainSeconds();
+        result.checkpointCaptureSeconds =
+            driver.checkpointCaptureSeconds();
+    }
 
     result.zoneCycles = driver.zoneCycles();
     result.commCells = driver.commCells();

@@ -71,6 +71,28 @@ struct ExperimentSpec
      */
     bool fusedBoundaries = true;
 
+    // Checkpoint / restart (numeric mode only).
+    /** Capture a checkpoint every N cycles (0 = never). */
+    std::int64_t checkpointEvery = 0;
+    /** Destination checkpoint file (required when checkpointEvery > 0). */
+    std::string checkpointPath;
+    /** Drain snapshots to disk off-thread (double buffered). */
+    bool checkpointAsync = true;
+    /**
+     * Supervised recovery: on a failed attempt, retry from the last
+     * durable checkpoint up to this many times (0 = fail fast).
+     */
+    int maxRestarts = 0;
+    /** Pause before each retry (real services back off; tests use 0). */
+    double restartBackoffSeconds = 0.0;
+    /**
+     * Deterministic fault injection: rank `failRank` throws at cycle
+     * `failCycle` (-1 = disarmed). When disarmed here, the
+     * `VIBE_FAIL_RANK` / `VIBE_FAIL_CYCLE` environment knobs apply.
+     */
+    int failRank = -1;
+    std::int64_t failCycle = -1;
+
     // Platform.
     PlatformConfig platform = PlatformConfig::gpu(1, 1);
 
@@ -100,6 +122,18 @@ struct ExperimentResult
     Traffic traffic;
     /** Real state bytes migrated by load balancing (sharded runs). */
     double migratedStorageBytes = 0;
+
+    // Checkpoint / recovery facts (the robustness benches read these).
+    /** Attempts beyond the first (0 on a clean run). */
+    int restarts = 0;
+    /** Wall seconds spent reading checkpoints + backing off. */
+    double recoverySeconds = 0;
+    /** Snapshots durably written by the final attempt. */
+    int checkpointsWritten = 0;
+    /** Collective capture seconds (on the critical path, all cycles). */
+    double checkpointCaptureSeconds = 0;
+    /** Encode+disk seconds (off-thread in async mode). */
+    double checkpointDrainSeconds = 0;
 
     /** Measured zone-cycles per wall second (0 if wall time is 0). */
     double measuredFom() const
@@ -162,7 +196,13 @@ class Experiment
   public:
     explicit Experiment(const ExperimentSpec& spec) : spec_(spec) {}
 
-    /** Build the workload, simulate, and evaluate the platform model. */
+    /**
+     * Build the workload, simulate, and evaluate the platform model.
+     * With checkpointing + maxRestarts configured this is a supervised
+     * recovery loop: a failed attempt (e.g. an injected rank death)
+     * tears the team down, re-reads the last durable checkpoint, and
+     * retries until success or the restart budget is exhausted.
+     */
     ExperimentResult run() const;
 
     /**
@@ -178,6 +218,10 @@ class Experiment
              int* best_ranks_per_gpu = nullptr);
 
   private:
+    /** One attempt: fresh initialize, or restore when `restore` set. */
+    ExperimentResult runAttempt(FaultInjector* injector,
+                                const CheckpointImage* restore) const;
+
     ExperimentSpec spec_;
 };
 

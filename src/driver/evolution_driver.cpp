@@ -3,9 +3,12 @@
 #include <chrono>
 #include <thread>
 
+#include "driver/fault_injector.hpp"
 #include "driver/task_list.hpp"
 #include "exec/memory_tracker.hpp"
 #include "exec/par_for.hpp"
+#include "io/checkpoint.hpp"
+#include "io/checkpoint_writer.hpp"
 #include "mesh/prolong_restrict.hpp"
 #include "util/logging.hpp"
 
@@ -23,6 +26,12 @@ DriverConfig::fromParams(const ParameterInput& pin)
     config.lbEvery = pin.getInt("amr", "lb_every", 1);
     config.randomizeBufferKeys =
         pin.getBool("comm", "randomize_buffer_keys", true);
+    config.checkpointEvery =
+        pin.getInt("driver", "checkpoint_every", 0);
+    config.checkpointPath =
+        pin.getString("driver", "checkpoint_path", "");
+    config.checkpointAsync =
+        pin.getBool("driver", "checkpoint_async", true);
     return config;
 }
 
@@ -103,6 +112,119 @@ EvolutionDriver::initialize()
 }
 
 void
+EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
+{
+    const ExecContext& ctx = mesh_->ctx();
+    PhaseScope scope(ctx.profiler(), "Initialise");
+    const MeshConfig& config = mesh_->config();
+
+    require(ctx.executing(),
+            "checkpoint restore requires numeric execution");
+    if (image.package != package_->name())
+        fatal("checkpoint restore: file holds package '", image.package,
+              "' but this run uses '", package_->name(), "'");
+    if (image.ndim != config.ndim || image.nx1 != config.nx1 ||
+        image.nx2 != config.nx2 || image.nx3 != config.nx3)
+        fatal("checkpoint restore: mesh mismatch, file has ",
+              image.nx1, "x", image.nx2, "x", image.nx3, " (ndim ",
+              image.ndim, "), this run ", config.nx1, "x", config.nx2,
+              "x", config.nx3, " (ndim ", config.ndim, ")");
+    if (image.blockNx1 != config.blockNx1 ||
+        image.blockNx2 != config.blockNx2 ||
+        image.blockNx3 != config.blockNx3 ||
+        image.numGhost != config.numGhost)
+        fatal("checkpoint restore: block shape mismatch, file has ",
+              image.blockNx1, "x", image.blockNx2, "x", image.blockNx3,
+              " (", image.numGhost, " ghosts), this run ",
+              config.blockNx1, "x", config.blockNx2, "x",
+              config.blockNx3, " (", config.numGhost, " ghosts)");
+    if (image.amrLevels != config.amrLevels)
+        fatal("checkpoint restore: file was written with ",
+              image.amrLevels, " AMR levels, this run allows ",
+              config.amrLevels);
+    const VariableRegistry& registry = mesh_->registry();
+    if (image.ncompConserved != registry.ncompConserved() ||
+        image.ncompDerived != registry.ncompDerived())
+        fatal("checkpoint restore: variable mismatch, file has ",
+              image.ncompConserved, " conserved + ",
+              image.ncompDerived, " derived components, this run ",
+              registry.ncompConserved(), " + ",
+              registry.ncompDerived());
+    require(!image.blocks.empty(),
+            "checkpoint restore: image holds no blocks");
+
+    // --- Rebuild the tree to the image's leaf set. Every image leaf
+    // deeper than level 0 implies its ancestors were refined; flag
+    // exactly those interior locations level by level until the
+    // current leaves match. The image's tree was 2:1 balanced when
+    // written, so these updates never cascade extra refinements.
+    RefinementFlagMap ancestors;
+    for (const CheckpointBlockRecord& record : image.blocks)
+        for (LogicalLocation loc = record.loc; loc.level > 0;) {
+            loc = loc.parent();
+            ancestors[loc] = RefinementFlag::Refine;
+        }
+    for (int pass = 0; pass < image.amrLevels; ++pass) {
+        RefinementFlagMap flags;
+        // vibe-lint: allow(owned-blocks) replicated-structure walk:
+        // tree reconstruction reads only block locations (metadata
+        // present on every replica), never Shadow storage.
+        for (const auto& block : mesh_->blocks())
+            if (ancestors.count(block->loc()))
+                flags[block->loc()] = RefinementFlag::Refine;
+        if (flags.empty())
+            break;
+        const auto update = mesh_->updateTree(flags);
+        require(update.changed(),
+                "checkpoint restore: tree reconstruction stalled with ",
+                flags.size(), " unrefined ancestors");
+        // No data prolongation: every block's state comes from the
+        // image below, so only the structure update is applied.
+        mesh_->applyTreeUpdate(update, image.cycle);
+    }
+    if (mesh_->numBlocks() != image.blocks.size())
+        fatal("checkpoint restore: reconstructed tree has ",
+              mesh_->numBlocks(), " blocks, file records ",
+              image.blocks.size());
+
+    // --- Load every block record: same Z/gid order on both sides.
+    // Replicated metadata (createdCycle) lands on every replica; state
+    // lands only where storage is materialized (hasData) — Shadow
+    // replicas receive theirs through the load-balance migration below.
+    for (std::size_t gid = 0; gid < mesh_->numBlocks(); ++gid) {
+        MeshBlock& block = mesh_->block(static_cast<int>(gid));
+        const CheckpointBlockRecord& record = image.blocks[gid];
+        if (!(block.loc() == record.loc))
+            fatal("checkpoint restore: block ", gid, " is at ",
+                  block.loc().str(), " but the file records ",
+                  record.loc.str());
+        // The derefine-gap policy depends on creation cycles, so they
+        // must survive the restart for identical remesh decisions.
+        block.setCreatedCycle(record.createdCycle);
+        if (!block.hasData())
+            continue;
+        require(record.state.size() == block.serializedStateCount(),
+                "checkpoint restore: block ", gid, " state has ",
+                record.state.size(), " values, expected ",
+                block.serializedStateCount());
+        block.deserializeState(record.state);
+    }
+
+    cycle_ = image.cycle;
+    time_ = image.time;
+
+    // Re-shard through the PR-5 migration path: the partitioner's
+    // greedy Z-prefix split depends only on the (replicated) Z-ordered
+    // block list, so any rank count lands on its deterministic
+    // decomposition and real storage migrates onto the new owners.
+    loadBalance(*mesh_, *world_);
+    cache_.rebuild();
+    // No ghost exchange or fillDerived: the serialized state carries
+    // ghosts and derived fields, so memory now matches the
+    // uninterrupted run at this cycle boundary bit for bit.
+}
+
+void
 EvolutionDriver::run()
 {
     while (cycle_ < config_.ncycles && time_ < config_.tlim)
@@ -112,6 +234,13 @@ EvolutionDriver::run()
 void
 EvolutionDriver::doCycle()
 {
+    // Fault-injection point: before the cycle's first collective (the
+    // dt allreduce), so when the armed rank dies its peers are already
+    // blocked in a rendezvous — the worst case the abort path must
+    // drain without hanging.
+    if (fault_injector_)
+        fault_injector_->maybeFail(mesh_->collectiveRank(), cycle_);
+
     // --- EstimateTimeStep: once per step. The mesh is untouched
     // between the end of the previous cycle and here, so estimating at
     // the top of the cycle yields the identical dt the old
@@ -148,6 +277,8 @@ EvolutionDriver::doCycle()
     time_ += stats.dt;
     ++cycle_;
 
+    maybeWriteCheckpoint(stats);
+
     stats.wireCells = comm_cells_ - wire_before;
     stats.wireFaces = comm_faces_ - faces_before;
     stats.boundaryMessages = boundary_messages_ - msgs_before;
@@ -181,9 +312,55 @@ EvolutionDriver::stageExecOptions() const
     options.external_stall_seconds = kPeerWaitSeconds;
     if (options.external_progress) {
         RankWorld* world = world_;
-        options.external_abort = [world] { return world->failed(); };
+        options.external_abort = [world]() -> std::string {
+            // failed() is a lock-free fast path; the reason (one lock)
+            // is only fetched on the failure path itself.
+            return world->failed() ? world->failureReason()
+                                   : std::string();
+        };
     }
     return options;
+}
+
+void
+EvolutionDriver::maybeWriteCheckpoint(CycleStats& stats)
+{
+    if (config_.checkpointEvery <= 0 ||
+        cycle_ % config_.checkpointEvery != 0)
+        return;
+    // Capture needs real block state; counting mode has none.
+    if (!mesh_->ctx().executing())
+        return;
+    const auto start = std::chrono::steady_clock::now();
+    // The capture runs as a task in the stage graph: the gather is a
+    // collective (every rank's poll/abort policy applies), and the
+    // graph accounting folds the capture into the comm columns the
+    // benches report. One task always executes on the serial backend,
+    // so the capture point is deterministic.
+    CheckpointImage image;
+    TaskList tl;
+    tl.setLabel("checkpoint");
+    tl.addTask(
+        "CheckpointCaptureGather",
+        [this, &image] {
+            image = captureCheckpoint(*mesh_, *world_,
+                                      package_->name(), cycle_, time_);
+            return TaskStatus::Complete;
+        },
+        {}, TaskCategory::Comm);
+    tl.execute(stageExecOptions());
+    task_wall_seconds_ += tl.lastExecuteSeconds();
+    task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
+    // Only the rank holding the writer (rank 0 on a team) touches
+    // disk; the image every other rank assembled is identical and is
+    // simply dropped.
+    if (checkpoint_writer_)
+        checkpoint_writer_->write(std::move(image));
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    stats.checkpointSeconds += seconds;
+    checkpoint_capture_seconds_ += seconds;
 }
 
 void
@@ -791,9 +968,11 @@ EvolutionDriver::applyRestructureData(
                 channel.kind = ChannelKind::Block;
                 std::optional<Message> msg;
                 while (!(msg = world_->receive(channel)).has_value()) {
-                    require(!world_->failed(),
-                            "remote restriction aborted: a peer rank "
-                            "failed");
+                    // Not require(): its message args are evaluated
+                    // every iteration, and failureReason() locks.
+                    if (world_->failed())
+                        panic("remote restriction aborted: ",
+                              world_->failureReason());
                     require(std::chrono::steady_clock::now() < deadline,
                             "remote restriction timed out waiting for ",
                             child->loc().str());

@@ -31,6 +31,10 @@
 
 namespace vibe {
 
+class CheckpointWriter;
+class FaultInjector;
+struct CheckpointImage;
+
 /** Loop-control parameters (paper §II-G policies as defaults). */
 struct DriverConfig
 {
@@ -46,6 +50,18 @@ struct DriverConfig
     int lbEvery = 1;
     /** Shuffle boundary keys in the buffer cache (§VIII-A). */
     bool randomizeBufferKeys = true;
+    /**
+     * Capture a checkpoint every N cycles (`<driver> checkpoint_every`,
+     * 0 = never). The capture itself is collective — every rank frames
+     * its shard and joins the gather — so the knob must be identical
+     * across ranks; only a rank with an installed CheckpointWriter
+     * (rank 0 on a team) also writes the file.
+     */
+    std::int64_t checkpointEvery = 0;
+    /** Destination file (`<driver> checkpoint_path`). */
+    std::string checkpointPath;
+    /** Drain snapshots off-thread (`<driver> checkpoint_async`). */
+    bool checkpointAsync = true;
 
     static DriverConfig fromParams(const ParameterInput& pin);
 };
@@ -79,6 +95,13 @@ struct CycleStats
     std::uint64_t boundaryMessages = 0;
     double boundaryBytes = 0;
     double mass = 0;                ///< History output (numeric mode).
+    /**
+     * Wall seconds this cycle spent capturing a checkpoint snapshot
+     * (the collective gather; the disk drain runs off-thread in async
+     * mode and is reported by the writer instead). 0 on cycles with no
+     * checkpoint.
+     */
+    double checkpointSeconds = 0;
 };
 
 /** Runs the timestep loop over a Mesh. */
@@ -99,6 +122,40 @@ class EvolutionDriver
      * refinement iterations, initial load balance and ghost fill.
      */
     void initialize();
+
+    /**
+     * Restore instead of initialize(): rebuild the tree from the
+     * image's leaf set, deserialize every block's state, adopt the
+     * image's cycle/time and re-shard through the load-balance
+     * migration path. Accepts any `num_ranks`/`num_threads` — the
+     * image is decomposition-free — and continuation is bitwise
+     * identical to the uninterrupted run. Validates the image against
+     * this mesh/package and fatals on any mismatch.
+     */
+    void initializeFromCheckpoint(const CheckpointImage& image);
+
+    /**
+     * Install a checkpoint writer (not owned; may be null). On a rank
+     * team only rank 0's driver gets one — every rank still joins the
+     * capture gather, which is gated on `DriverConfig::checkpointEvery`
+     * alone so the collective stays symmetric.
+     */
+    void setCheckpointWriter(CheckpointWriter* writer)
+    {
+        checkpoint_writer_ = writer;
+    }
+
+    /** Install a fault injector (not owned; may be null). */
+    void setFaultInjector(FaultInjector* injector)
+    {
+        fault_injector_ = injector;
+    }
+
+    /** Wall seconds spent in checkpoint capture gathers so far. */
+    double checkpointCaptureSeconds() const
+    {
+        return checkpoint_capture_seconds_;
+    }
 
     /** Run until ncycles or tlim. */
     void run();
@@ -195,6 +252,13 @@ class EvolutionDriver
     TaskList buildFluxCorrGraphFused();
     /** Execution options for stage graphs (space + peer-wait policy). */
     TaskExecOptions stageExecOptions() const;
+    /**
+     * Capture-and-enqueue hook at the end of a cycle: when the cycle
+     * count hits `checkpointEvery`, run the collective capture as a
+     * task in the stage graph and hand the image to the writer (if one
+     * is installed on this rank).
+     */
+    void maybeWriteCheckpoint(CycleStats& stats);
     void loadBalancingAndAmr();
     void applyRestructureData(const Mesh::Restructure& restructure);
 
@@ -239,6 +303,9 @@ class EvolutionDriver
     double task_wall_seconds_ = 0;
     double task_comm_seconds_ = 0;
     double task_compute_seconds_ = 0;
+    double checkpoint_capture_seconds_ = 0;
+    CheckpointWriter* checkpoint_writer_ = nullptr;
+    FaultInjector* fault_injector_ = nullptr;
     std::vector<CycleStats> history_;
 };
 

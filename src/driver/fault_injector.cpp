@@ -1,0 +1,59 @@
+/**
+ * @file fault_injector.cpp
+ * Deterministic rank-failure injection.
+ */
+#include "driver/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/parameter_input.hpp"
+
+namespace vibe {
+
+namespace {
+
+std::int64_t
+envInt64(const char* name, std::int64_t fallback)
+{
+    const char* value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::atoll(value);
+}
+
+} // namespace
+
+FaultInjector
+FaultInjector::fromEnv()
+{
+    return FaultInjector(
+        static_cast<int>(envInt64("VIBE_FAIL_RANK", -1)),
+        envInt64("VIBE_FAIL_CYCLE", -1));
+}
+
+FaultInjector
+FaultInjector::fromParams(const ParameterInput& pin)
+{
+    FaultInjector injector(pin.getInt("exec", "fail_rank", -1),
+                           pin.getInt("exec", "fail_cycle", -1));
+    // Env overrides the deck, matching the other <exec> knobs.
+    injector.fail_rank_ = static_cast<int>(
+        envInt64("VIBE_FAIL_RANK", injector.fail_rank_));
+    injector.fail_cycle_ =
+        envInt64("VIBE_FAIL_CYCLE", injector.fail_cycle_);
+    return injector;
+}
+
+void
+FaultInjector::maybeFail(int rank, std::int64_t cycle)
+{
+    if (fired_ || !armed() || rank != fail_rank_ ||
+        cycle != fail_cycle_)
+        return;
+    fired_ = true;
+    panic("injected fault: rank ", fail_rank_, " failed at cycle ",
+          fail_cycle_);
+}
+
+} // namespace vibe

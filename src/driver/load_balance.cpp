@@ -154,8 +154,11 @@ loadBalance(Mesh& mesh, RankWorld& world)
             const ChannelId channel = migrationChannel(block.loc());
             std::optional<Message> msg;
             while (!(msg = world.receive(channel)).has_value()) {
-                require(!world.failed(),
-                        "block migration aborted: a peer rank failed");
+                // Not require(): its message args are evaluated every
+                // iteration, and failureReason() locks.
+                if (world.failed())
+                    panic("block migration aborted: ",
+                          world.failureReason());
                 require(std::chrono::steady_clock::now() < deadline,
                         "block migration timed out waiting for ",
                         block.loc().str());

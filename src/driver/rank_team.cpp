@@ -55,18 +55,41 @@ RankTeam::runRank(int rank)
 
         EvolutionDriver& driver =
             *states_[static_cast<std::size_t>(rank)]->driver;
-        driver.initialize();
+        if (fault_injector_)
+            driver.setFaultInjector(fault_injector_);
+        // Rank 0 alone touches disk; every rank joins the gathers.
+        if (rank == 0 && checkpoint_writer_)
+            driver.setCheckpointWriter(checkpoint_writer_);
+        if (restore_image_)
+            driver.initializeFromCheckpoint(*restore_image_);
+        else
+            driver.initialize();
         driver.run();
+    } catch (const std::exception& e) {
+        recordFailure(std::current_exception(), e.what());
     } catch (...) {
-        {
-            LockGuard lock(error_mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
-        }
-        // Wake peers blocked in collectives or poll loops so the team
-        // unwinds instead of hanging on a dead rank.
-        world_.markFailed();
+        recordFailure(std::current_exception(),
+                      "rank " + std::to_string(rank) +
+                          " threw a non-std exception");
     }
+}
+
+void
+RankTeam::recordFailure(std::exception_ptr error,
+                        const std::string& reason)
+{
+    {
+        LockGuard lock(error_mutex_);
+        if (!first_error_)
+            first_error_ = std::move(error);
+    }
+    // Wake peers blocked in collectives or poll loops so the team
+    // unwinds instead of hanging on a dead rank. The reason travels
+    // with the wakeup: peers aborting on failed() echo the original
+    // message, not a generic "a peer rank failed". A peer's own
+    // secondary abort arriving here later cannot clobber it —
+    // markFailed keeps the first recorded reason.
+    world_.markFailed(reason);
 }
 
 void

@@ -82,6 +82,33 @@ class RankTeam
     int numRanks() const { return num_ranks_; }
     RankWorld& world() { return world_; }
 
+    /**
+     * Restore every rank from `image` instead of initializing fresh
+     * (not owned; must outlive run()). The image may have been written
+     * at any rank/thread count — each replica rebuilds the identical
+     * structure and the restore's load balance re-shards storage.
+     */
+    void setRestoreImage(const CheckpointImage* image)
+    {
+        restore_image_ = image;
+    }
+
+    /**
+     * Writer for periodic checkpoints (not owned; may be null).
+     * Installed on rank 0's driver only — every rank still joins each
+     * capture gather, keeping the collective symmetric.
+     */
+    void setCheckpointWriter(CheckpointWriter* writer)
+    {
+        checkpoint_writer_ = writer;
+    }
+
+    /** Fault injector installed on every rank (not owned; may be null). */
+    void setFaultInjector(FaultInjector* injector)
+    {
+        fault_injector_ = injector;
+    }
+
     /** Per-rank state (valid after run()). */
     Mesh& mesh(int rank) { return *states_.at(rank)->mesh; }
     EvolutionDriver& driver(int rank)
@@ -137,6 +164,13 @@ class RankTeam
     };
 
     void runRank(int rank);
+    /**
+     * Record this rank's failure (first exception wins) and wake every
+     * peer blocked in a collective or poll loop, tagging the world
+     * with the original error message so peers report the root cause.
+     */
+    void recordFailure(std::exception_ptr error,
+                       const std::string& reason);
 
     MeshConfig mesh_config_;
     const VariableRegistry* registry_;
@@ -146,6 +180,9 @@ class RankTeam
     int num_ranks_;
     RankWorld world_;
     std::vector<std::unique_ptr<RankState>> states_;
+    const CheckpointImage* restore_image_ = nullptr;
+    CheckpointWriter* checkpoint_writer_ = nullptr;
+    FaultInjector* fault_injector_ = nullptr;
     double wall_seconds_ = 0;
     bool ran_ = false;
 

@@ -144,10 +144,12 @@ TaskList::executeSerial(const TaskExecOptions& options)
         // nothing — yield and fall back to a wall-clock bound.
         if (any_ran && completed_this_pass == 0) {
             if (options.external_progress) {
-                if (options.external_abort && options.external_abort())
-                    panic("task list aborted: a peer rank failed; "
-                          "incomplete tasks: ",
-                          incompleteNames());
+                if (options.external_abort) {
+                    const std::string reason = options.external_abort();
+                    if (!reason.empty())
+                        panic("task list aborted: ", reason,
+                              "; incomplete tasks: ", incompleteNames());
+                }
                 if (Clock::now() >= stall_deadline)
                     panic("no task completed within ",
                           options.external_stall_seconds,
@@ -192,7 +194,7 @@ TaskList::executeThreaded(const TaskExecOptions& options,
         std::uint64_t idle_limit = 0;
         bool external_progress = false;
         Clock::time_point stall_deadline;
-        const std::function<bool()>* external_abort = nullptr;
+        const std::function<std::string()>* external_abort = nullptr;
         bool failed VIBE_GUARDED_BY(mutex) = false;
         std::exception_ptr error VIBE_GUARDED_BY(mutex);
 
@@ -308,13 +310,16 @@ TaskList::executeThreaded(const TaskExecOptions& options,
                 // clock can call it stuck; otherwise nothing anywhere
                 // can, and a bounded poll count suffices.
                 if (st.external_progress) {
-                    if (st.external_abort && (*st.external_abort)()) {
-                        st.failLocked(std::make_exception_ptr(PanicError(
-                            detail::concat(
-                                "task list aborted: a peer rank "
-                                "failed; incomplete tasks: ",
-                                list.incompleteNames()))));
-                        return;
+                    if (st.external_abort) {
+                        const std::string reason = (*st.external_abort)();
+                        if (!reason.empty()) {
+                            st.failLocked(std::make_exception_ptr(
+                                PanicError(detail::concat(
+                                    "task list aborted: ", reason,
+                                    "; incomplete tasks: ",
+                                    list.incompleteNames()))));
+                            return;
+                        }
                     }
                     if (Clock::now() >= st.stall_deadline) {
                         st.failLocked(std::make_exception_ptr(PanicError(

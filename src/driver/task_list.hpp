@@ -80,11 +80,14 @@ struct TaskExecOptions
     double external_stall_seconds = 120.0;
     /**
      * Optional fast-abort probe for external_progress mode: polled on
-     * zero-completion scans; returning true panics immediately (a peer
-     * rank failed — nothing will ever deliver) instead of burning the
-     * full wall-clock stall bound.
+     * zero-completion scans; returning a non-empty string panics
+     * immediately with that string as the cause (a peer rank failed —
+     * nothing will ever deliver) instead of burning the full
+     * wall-clock stall bound. The string is the failing rank's
+     * original error message, so every unwinding peer reports the
+     * root cause and not just "a peer failed".
      */
-    std::function<bool()> external_abort;
+    std::function<std::string()> external_abort;
 };
 
 /**

@@ -1,0 +1,163 @@
+/**
+ * @file checkpoint_writer.cpp
+ * Sync and async (double-buffered drain thread) checkpoint output.
+ */
+#include "io/checkpoint_writer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+CheckpointWriter::CheckpointWriter(std::string path, bool async)
+    : path_(std::move(path)), async_(async)
+{
+    require(!path_.empty(), "CheckpointWriter needs a non-empty path");
+    if (async_)
+        // vibe-lint: allow(raw-thread) private I/O drain worker; see
+        // the member declaration for rationale.
+        drain_thread_ = std::thread([this] { drainLoop(); });
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    try {
+        finish();
+    } catch (const std::exception& e) {
+        warn("checkpoint writer '", path_,
+             "' failed during teardown: ", e.what());
+    } catch (...) {
+        warn("checkpoint writer '", path_,
+             "' failed during teardown with a non-std exception");
+    }
+}
+
+void
+CheckpointWriter::write(CheckpointImage image)
+{
+    if (!async_) {
+        writeOne(image);
+        return;
+    }
+    UniqueLock lock(mutex_);
+    if (drain_error_)
+        std::rethrow_exception(std::exchange(drain_error_, nullptr));
+    // Double buffer: one snapshot draining (inside drainLoop), at most
+    // one deposited here. Wait only if the previous deposit has not
+    // been picked up yet.
+    while (pending_ && !stop_)
+        cv_.wait(lock);
+    require(!stop_, "checkpoint writer '", path_,
+            "' received a snapshot after finish()");
+    pending_ = std::move(image);
+    cv_.notify_all();
+}
+
+void
+CheckpointWriter::finish()
+{
+    if (async_ && drain_thread_.joinable()) {
+        {
+            LockGuard lock(mutex_);
+            stop_ = true;
+            cv_.notify_all();
+        }
+        drain_thread_.join();
+    }
+    LockGuard lock(mutex_);
+    if (drain_error_)
+        std::rethrow_exception(std::exchange(drain_error_, nullptr));
+}
+
+std::int64_t
+CheckpointWriter::snapshots() const
+{
+    LockGuard lock(mutex_);
+    return snapshots_;
+}
+
+double
+CheckpointWriter::drainSeconds() const
+{
+    LockGuard lock(mutex_);
+    return drain_seconds_;
+}
+
+std::int64_t
+CheckpointWriter::bytesWritten() const
+{
+    LockGuard lock(mutex_);
+    return bytes_written_;
+}
+
+void
+CheckpointWriter::drainLoop()
+{
+    for (;;) {
+        CheckpointImage image;
+        {
+            UniqueLock lock(mutex_);
+            while (!pending_ && !stop_)
+                cv_.wait(lock);
+            if (!pending_ && stop_)
+                return;
+            image = std::move(*pending_);
+            pending_.reset();
+            cv_.notify_all(); // Free the deposit slot.
+            if (drain_error_)
+                continue; // Poisoned: drop snapshots, keep draining.
+        }
+        try {
+            writeOne(image);
+        } catch (...) {
+            LockGuard lock(mutex_);
+            if (!drain_error_)
+                drain_error_ = std::current_exception();
+        }
+    }
+}
+
+void
+CheckpointWriter::writeOne(const CheckpointImage& image)
+{
+    const double start = nowSeconds();
+    const std::vector<std::uint8_t> bytes = encodeCheckpoint(image);
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("checkpoint '", tmp,
+                  "' cannot be opened for writing");
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            fatal("checkpoint '", tmp, "' failed mid-write");
+    }
+    // Atomic replace: `path_` always holds a complete checkpoint.
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        fatal("checkpoint rename '", tmp, "' -> '", path_, "' failed");
+    const double elapsed = nowSeconds() - start;
+    LockGuard lock(mutex_);
+    ++snapshots_;
+    drain_seconds_ += elapsed;
+    bytes_written_ += static_cast<std::int64_t>(bytes.size());
+}
+
+} // namespace vibe

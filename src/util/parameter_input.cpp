@@ -39,8 +39,12 @@ knownKnobs()
         {"meshblock", {"nx1", "nx2", "nx3"}},
         {"amr",
          {"num_levels", "derefine_gap", "refine_every", "lb_every"}},
-        {"exec", {"num_threads", "pack_interior", "num_ranks"}},
-        {"driver", {"ncycles", "tlim", "fixed_dt"}},
+        {"exec",
+         {"num_threads", "pack_interior", "num_ranks",
+          "fused_boundaries", "fail_rank", "fail_cycle"}},
+        {"driver",
+         {"ncycles", "tlim", "fixed_dt", "checkpoint_every",
+          "checkpoint_path", "checkpoint_async"}},
         {"comm", {"randomize_buffer_keys"}},
         {"job", {"package"}},
         {"burgers",
@@ -104,6 +108,9 @@ ParameterInput::fromString(const std::string& text)
 ParameterInput
 ParameterInput::fromFile(const std::string& path)
 {
+    // vibe-lint: allow(io-isolation) reading the user's input deck is
+    // this function's whole purpose; it runs once at startup, far from
+    // any hot path, and src/io is for simulation-state I/O.
     std::ifstream in(path);
     if (!in)
         fatal("cannot open input deck '", path, "'");

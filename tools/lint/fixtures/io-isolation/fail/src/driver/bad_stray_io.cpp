@@ -1,0 +1,10 @@
+// Fixture: a driver-side dump that bypasses the checkpoint subsystem's
+// temp-file + rename durability discipline.
+#include <fstream>
+
+void dumpHistory(const char* path, const History& history)
+{
+    std::ofstream out(path);
+    for (double dt : history.dts())
+        out << dt << '\n';
+}

@@ -1,0 +1,9 @@
+// Fixture: the checkpoint subsystem is where file I/O lives — src/io/
+// is exempt by path.
+#include <fstream>
+
+void writeSnapshot(const char* path, const Payload& payload)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(payload.bytes(), payload.size());
+}

@@ -26,6 +26,8 @@ Rule catalog (rationale lives with each rule below):
                         order
   shadow-data-access    no raw data() pointers into block storage
                         outside materialize/unpack paths
+  io-isolation          no file I/O (fstream/fopen) outside src/io/
+                        (bench/ and tools/ are outside the linted tree)
 
 Usage:
   vibe_lint.py [--root DIR]    lint DIR/src (default: repo root)
@@ -193,6 +195,28 @@ RULES = [
             "VIBE_AUDIT_OWNERSHIP backstop hooks in, and a cached raw "
             "pointer outlives both checks. Serialization and pack "
             "table construction (mesh/) are the audited exceptions."
+        ),
+    ),
+    Rule(
+        name="io-isolation",
+        scope=("src/",),
+        exempt=("src/io/",),
+        pattern=r"std::(?:i|o)?fstream\b|\bfopen\s*\(|\bfreopen\s*\(",
+        message=(
+            "file I/O (fstream/fopen) belongs under src/io/ "
+            "(bench/ and tools/ are outside the linted tree); "
+            "pragma audited exceptions with the reason"
+        ),
+        rationale=(
+            "Durability discipline lives in one place: the checkpoint "
+            "subsystem writes to a temp file and atomically renames, "
+            "CRC-frames every payload, and reports truncation/ "
+            "corruption with a uniform error taxonomy. A stray "
+            "ofstream elsewhere can tear files on a mid-write rank "
+            "death and silently skip those guarantees - exactly what "
+            "the recovery path must be able to rule out. Startup-time "
+            "reads of user inputs (the parameter deck) are the "
+            "audited exception."
         ),
     ),
 ]
