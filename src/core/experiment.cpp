@@ -68,22 +68,63 @@ Experiment::run() const
     double recovery_seconds = 0;
     std::optional<CheckpointImage> restore;
     for (;;) {
+        // The writer lives in the retry scope, not the attempt: when an
+        // attempt unwinds, the async drain still finishes the last
+        // deposited snapshot, and only this scope can then ask whether
+        // anything durable actually reached disk before re-reading it.
+        std::optional<CheckpointWriter> writer;
+        if (spec.checkpointEvery > 0)
+            writer.emplace(spec.checkpointPath, spec.checkpointAsync);
         try {
             ExperimentResult result =
                 runAttempt(injector.armed() ? &injector : nullptr,
-                           restore ? &*restore : nullptr);
+                           restore ? &*restore : nullptr,
+                           writer ? &*writer : nullptr);
             result.restarts = restarts;
             result.recoverySeconds = recovery_seconds;
             return result;
+        } catch (const RestoreError&) {
+            // Restore-validation failures are deterministic: the same
+            // image re-fails identically on every retry, so surface the
+            // real cause instead of burning the restart budget on it.
+            throw;
         } catch (const std::exception& e) {
             if (spec.checkpointEvery <= 0 ||
                 restarts >= spec.maxRestarts)
                 throw;
             ++restarts;
-            warn("experiment attempt failed (", e.what(),
-                 "); restarting from checkpoint '", spec.checkpointPath,
-                 "' (restart ", restarts, " of ", spec.maxRestarts, ")");
             const auto recover_start = std::chrono::steady_clock::now();
+            // Drain any snapshot the dying attempt deposited; a drain
+            // failure is survivable — it only limits what this restart
+            // can restore from.
+            try {
+                writer->finish();
+            } catch (const std::exception& drain) {
+                warn("checkpoint drain failed during recovery: ",
+                     drain.what());
+            }
+            // Only snapshots THIS run's writer produced are eligible:
+            // gating on its count keeps a failure that lands before the
+            // first durable snapshot from dying on a missing file (the
+            // retry simply starts fresh), and means a stale checkpoint
+            // left at the same path by an unrelated earlier run is
+            // never restored silently.
+            const bool durable = writer->snapshots() > 0;
+            if (durable)
+                warn("experiment attempt failed (", e.what(),
+                     "); restarting from checkpoint '",
+                     spec.checkpointPath, "' (restart ", restarts,
+                     " of ", spec.maxRestarts, ")");
+            else if (restore)
+                warn("experiment attempt failed (", e.what(),
+                     ") before writing a new checkpoint; reusing the "
+                     "last restored image (restart ", restarts, " of ",
+                     spec.maxRestarts, ")");
+            else
+                warn("experiment attempt failed (", e.what(),
+                     ") before the first checkpoint was durable; "
+                     "retrying from a fresh start (restart ", restarts,
+                     " of ", spec.maxRestarts, ")");
             if (spec.restartBackoffSeconds > 0)
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(
@@ -92,7 +133,8 @@ Experiment::run() const
             // truncated by the failure is rejected loudly rather than
             // silently restoring garbage (the writer's tmp+rename
             // makes that window atomic anyway).
-            restore = CheckpointReader::read(spec.checkpointPath);
+            if (durable)
+                restore = CheckpointReader::read(spec.checkpointPath);
             recovery_seconds +=
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - recover_start)
@@ -103,7 +145,8 @@ Experiment::run() const
 
 ExperimentResult
 Experiment::runAttempt(FaultInjector* injector,
-                       const CheckpointImage* restore) const
+                       const CheckpointImage* restore,
+                       CheckpointWriter* writer) const
 {
     const ExperimentSpec& spec = spec_;
     ExperimentResult result;
@@ -139,13 +182,6 @@ Experiment::runAttempt(FaultInjector* injector,
     driver_config.checkpointPath = spec.checkpointPath;
     driver_config.checkpointAsync = spec.checkpointAsync;
 
-    // The writer outlives the team/driver; its destructor drains any
-    // deposited snapshot even when the attempt unwinds on a failure —
-    // that drained file is exactly what the retry restores from.
-    std::optional<CheckpointWriter> writer;
-    if (spec.checkpointEvery > 0)
-        writer.emplace(spec.checkpointPath, spec.checkpointAsync);
-
     if (spec.numRanks > 1) {
         // Rank-sharded measured path: one driver per rank on its own
         // thread, coupled only through RankWorld. Per-rank
@@ -156,7 +192,7 @@ Experiment::runAttempt(FaultInjector* injector,
                               *package);
                       });
         if (writer)
-            team.setCheckpointWriter(&*writer);
+            team.setCheckpointWriter(writer);
         if (injector)
             team.setFaultInjector(injector);
         if (restore)
@@ -246,7 +282,7 @@ Experiment::runAttempt(FaultInjector* injector,
 
     EvolutionDriver driver(mesh, *package, world, tagger, driver_config);
     if (writer)
-        driver.setCheckpointWriter(&*writer);
+        driver.setCheckpointWriter(writer);
     if (injector)
         driver.setFaultInjector(injector);
     const auto wall_start = std::chrono::steady_clock::now();

@@ -218,9 +218,14 @@ class Experiment
              int* best_ranks_per_gpu = nullptr);
 
   private:
-    /** One attempt: fresh initialize, or restore when `restore` set. */
+    /**
+     * One attempt: fresh initialize, or restore when `restore` set.
+     * `writer` (owned by the retry loop in run(), so it outlives an
+     * unwinding attempt) receives the periodic snapshots when set.
+     */
     ExperimentResult runAttempt(FaultInjector* injector,
-                                const CheckpointImage* restore) const;
+                                const CheckpointImage* restore,
+                                CheckpointWriter* writer) const;
 
     ExperimentSpec spec_;
 };

@@ -121,11 +121,11 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
     require(ctx.executing(),
             "checkpoint restore requires numeric execution");
     if (image.package != package_->name())
-        fatal("checkpoint restore: file holds package '", image.package,
+        restoreFatal("checkpoint restore: file holds package '", image.package,
               "' but this run uses '", package_->name(), "'");
     if (image.ndim != config.ndim || image.nx1 != config.nx1 ||
         image.nx2 != config.nx2 || image.nx3 != config.nx3)
-        fatal("checkpoint restore: mesh mismatch, file has ",
+        restoreFatal("checkpoint restore: mesh mismatch, file has ",
               image.nx1, "x", image.nx2, "x", image.nx3, " (ndim ",
               image.ndim, "), this run ", config.nx1, "x", config.nx2,
               "x", config.nx3, " (ndim ", config.ndim, ")");
@@ -133,19 +133,19 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
         image.blockNx2 != config.blockNx2 ||
         image.blockNx3 != config.blockNx3 ||
         image.numGhost != config.numGhost)
-        fatal("checkpoint restore: block shape mismatch, file has ",
+        restoreFatal("checkpoint restore: block shape mismatch, file has ",
               image.blockNx1, "x", image.blockNx2, "x", image.blockNx3,
               " (", image.numGhost, " ghosts), this run ",
               config.blockNx1, "x", config.blockNx2, "x",
               config.blockNx3, " (", config.numGhost, " ghosts)");
     if (image.amrLevels != config.amrLevels)
-        fatal("checkpoint restore: file was written with ",
+        restoreFatal("checkpoint restore: file was written with ",
               image.amrLevels, " AMR levels, this run allows ",
               config.amrLevels);
     const VariableRegistry& registry = mesh_->registry();
     if (image.ncompConserved != registry.ncompConserved() ||
         image.ncompDerived != registry.ncompDerived())
-        fatal("checkpoint restore: variable mismatch, file has ",
+        restoreFatal("checkpoint restore: variable mismatch, file has ",
               image.ncompConserved, " conserved + ",
               image.ncompDerived, " derived components, this run ",
               registry.ncompConserved(), " + ",
@@ -183,7 +183,7 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
         mesh_->applyTreeUpdate(update, image.cycle);
     }
     if (mesh_->numBlocks() != image.blocks.size())
-        fatal("checkpoint restore: reconstructed tree has ",
+        restoreFatal("checkpoint restore: reconstructed tree has ",
               mesh_->numBlocks(), " blocks, file records ",
               image.blocks.size());
 
@@ -195,7 +195,7 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
         MeshBlock& block = mesh_->block(static_cast<int>(gid));
         const CheckpointBlockRecord& record = image.blocks[gid];
         if (!(block.loc() == record.loc))
-            fatal("checkpoint restore: block ", gid, " is at ",
+            restoreFatal("checkpoint restore: block ", gid, " is at ",
                   block.loc().str(), " but the file records ",
                   record.loc.str());
         // The derefine-gap policy depends on creation cycles, so they

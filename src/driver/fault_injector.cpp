@@ -35,8 +35,10 @@ FaultInjector::fromEnv()
 FaultInjector
 FaultInjector::fromParams(const ParameterInput& pin)
 {
+    // fail_cycle keeps full 64-bit width so the deck and the
+    // VIBE_FAIL_CYCLE env knob accept the same range.
     FaultInjector injector(pin.getInt("exec", "fail_rank", -1),
-                           pin.getInt("exec", "fail_cycle", -1));
+                           pin.getInt64("exec", "fail_cycle", -1));
     // Env overrides the deck, matching the other <exec> knobs.
     injector.fail_rank_ = static_cast<int>(
         envInt64("VIBE_FAIL_RANK", injector.fail_rank_));
@@ -48,10 +50,13 @@ FaultInjector::fromParams(const ParameterInput& pin)
 void
 FaultInjector::maybeFail(int rank, std::int64_t cycle)
 {
-    if (fired_ || !armed() || rank != fail_rank_ ||
-        cycle != fail_cycle_)
+    // Immutable config first: every non-matching rank thread bails
+    // here without reading the latch. armed() is implied by the match
+    // (a disarmed injector has fail_rank_ == -1, never a real rank).
+    if (rank != fail_rank_ || cycle != fail_cycle_ || rank < 0)
         return;
-    fired_ = true;
+    if (fired_.exchange(true, std::memory_order_acq_rel))
+        return;
     panic("injected fault: rank ", fail_rank_, " failed at cycle ",
           fail_cycle_);
 }

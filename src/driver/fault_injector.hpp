@@ -17,6 +17,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace vibe {
@@ -33,6 +34,24 @@ class FaultInjector
     {
     }
 
+    // Copies happen only at configuration time (fromEnv/fromParams,
+    // before any rank thread exists); spelled out because the atomic
+    // latch deletes the defaults.
+    FaultInjector(const FaultInjector& other)
+        : fail_rank_(other.fail_rank_), fail_cycle_(other.fail_cycle_),
+          fired_(other.fired_.load(std::memory_order_relaxed))
+    {
+    }
+    FaultInjector&
+    operator=(const FaultInjector& other)
+    {
+        fail_rank_ = other.fail_rank_;
+        fail_cycle_ = other.fail_cycle_;
+        fired_.store(other.fired_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
     /** From `VIBE_FAIL_RANK` / `VIBE_FAIL_CYCLE` (unset = disarmed). */
     static FaultInjector fromEnv();
 
@@ -44,21 +63,22 @@ class FaultInjector
     int failRank() const { return fail_rank_; }
     std::int64_t failCycle() const { return fail_cycle_; }
     /** True once the fault has been delivered. */
-    bool fired() const { return fired_; }
+    bool fired() const { return fired_.load(std::memory_order_acquire); }
 
     /**
      * Throw iff this is the armed (rank, cycle) and the injector has
      * not fired yet. Called at the top of every cycle by each rank's
-     * driver; only the matching rank's thread ever mutates state, and
-     * restart attempts are separated by a full team join, so the
-     * one-shot latch needs no atomics.
+     * driver concurrently: the guard checks the immutable (rank, cycle)
+     * config first, so peer rank threads return without ever touching
+     * the one-shot latch, and the latch itself is atomic — the matching
+     * rank's write races with nothing.
      */
     void maybeFail(int rank, std::int64_t cycle);
 
   private:
     int fail_rank_ = -1;
     std::int64_t fail_cycle_ = -1;
-    bool fired_ = false;
+    std::atomic<bool> fired_{false};
 };
 
 } // namespace vibe

@@ -36,11 +36,33 @@
 #include <vector>
 
 #include "mesh/logical_location.hpp"
+#include "util/logging.hpp"
 
 namespace vibe {
 
 class Mesh;
 class RankWorld;
+
+/**
+ * Deterministic restore failure: the checkpoint image cannot be applied
+ * to this run's configuration (package/mesh/block-shape/variable
+ * mismatch, inconsistent tree, ...). Retrying the attempt with the same
+ * image fails identically, so the supervised recovery loop rethrows
+ * these immediately instead of burning the restart budget on them.
+ */
+class RestoreError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** fatal() variant for restore validation: throws RestoreError. */
+template <typename... Args>
+[[noreturn]] void
+restoreFatal(Args&&... args)
+{
+    throw RestoreError(detail::concat(std::forward<Args>(args)...));
+}
 
 /** One block's slice of a checkpoint, in gid (Z-order) position. */
 struct CheckpointBlockRecord

@@ -151,6 +151,25 @@ ParameterInput::getInt(const std::string& block, const std::string& key,
     }
 }
 
+std::int64_t
+ParameterInput::getInt64(const std::string& block, const std::string& key,
+                         std::int64_t default_value) const
+{
+    const std::string* v = find(block, key);
+    if (!v)
+        return default_value;
+    try {
+        std::size_t pos = 0;
+        std::int64_t result = std::stoll(*v, &pos);
+        if (pos != v->size())
+            throw std::invalid_argument("trailing characters");
+        return result;
+    } catch (const std::exception&) {
+        fatal("parameter ", block, "/", key, " = '", *v,
+              "' is not an integer");
+    }
+}
+
 double
 ParameterInput::getReal(const std::string& block, const std::string& key,
                         double default_value) const

@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -45,6 +46,9 @@ class ParameterInput
     /** Typed getters: fatal if present but unparseable. */
     int getInt(const std::string& block, const std::string& key,
                int default_value) const;
+    /** 64-bit variant for cycle-valued knobs that can exceed int. */
+    std::int64_t getInt64(const std::string& block, const std::string& key,
+                          std::int64_t default_value) const;
     double getReal(const std::string& block, const std::string& key,
                    double default_value) const;
     bool getBool(const std::string& block, const std::string& key,

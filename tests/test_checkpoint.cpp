@@ -315,8 +315,11 @@ TEST(Checkpoint, RestoreRejectsMismatchedRun)
     const CheckpointImage image = CheckpointReader::read(ckpt.path);
     try {
         restoreTeamAndRun("burgers", image, 1, 1, shardDriverConfig());
-        FAIL() << "expected FatalError for package mismatch";
-    } catch (const FatalError& e) {
+        FAIL() << "expected RestoreError for package mismatch";
+    } catch (const RestoreError& e) {
+        // The distinct type matters: the supervised recovery loop
+        // rethrows RestoreError immediately (the same image re-fails
+        // identically) instead of retrying it maxRestarts times.
         const std::string what = e.what();
         EXPECT_NE(what.find("advection"), std::string::npos) << what;
         EXPECT_NE(what.find("burgers"), std::string::npos) << what;
@@ -397,6 +400,49 @@ TEST(FaultRecovery, ExperimentRecoveryRestartsFromCheckpoint)
     EXPECT_EQ(recovered.finalBlocks, baseline.finalBlocks);
 }
 
+TEST(FaultRecovery, FailureBeforeFirstCheckpointRetriesFresh)
+{
+    TempFile ckpt("test_ckpt_fresh_retry.bin");
+    ExperimentSpec spec;
+    spec.meshSize = 16;
+    spec.blockSize = 8;
+    spec.amrLevels = 2;
+    spec.ncycles = 6;
+    spec.numeric = true;
+    spec.package = "advection";
+    spec.numRanks = 2;
+    spec.checkpointEvery = 2;
+    spec.checkpointPath = ckpt.path;
+
+    // Plant a stale-but-valid checkpoint at the path: a clean run of
+    // the SAME spec leaves its final (cycle 6) snapshot on disk.
+    const ExperimentResult stale_producer = Experiment(spec).run();
+    EXPECT_GT(stale_producer.checkpointsWritten, 0);
+
+    // Now fail at cycle 1, before the retried run's own first snapshot
+    // (checkpointEvery=8 > failCycle) is ever durable. Recovery must
+    // NOT read the stale file (restoring it would continue from cycle
+    // 6 and record an empty history) and must not die on it either —
+    // it retries from a fresh initialize.
+    spec.checkpointEvery = 8;
+    spec.maxRestarts = 1;
+    spec.failRank = 1;
+    spec.failCycle = 1;
+    const ExperimentResult recovered = Experiment(spec).run();
+    EXPECT_EQ(recovered.restarts, 1);
+    EXPECT_EQ(recovered.checkpointsWritten, 0);
+    ASSERT_EQ(recovered.history.size(), 6u);
+    ASSERT_EQ(stale_producer.history.size(), 6u);
+    // The fresh retry replays the whole run bitwise.
+    for (std::size_t c = 0; c < recovered.history.size(); ++c) {
+        const CycleStats& fresh = recovered.history[c];
+        const CycleStats& ref = stale_producer.history[c];
+        EXPECT_EQ(fresh.dt, ref.dt) << "cycle " << ref.cycle;
+        EXPECT_EQ(fresh.mass, ref.mass) << "cycle " << ref.cycle;
+        EXPECT_EQ(fresh.nblocks, ref.nblocks) << "cycle " << ref.cycle;
+    }
+}
+
 TEST(FaultRecovery, ExperimentValidatesCheckpointKnobs)
 {
     ExperimentSpec spec;
@@ -431,6 +477,13 @@ TEST(FaultRecovery, InjectorKnobsAndOneShotFiring)
     EXPECT_TRUE(from_params.armed());
     EXPECT_EQ(from_params.failRank(), 1);
     EXPECT_EQ(from_params.failCycle(), 3);
+
+    // The deck path keeps full 64-bit width, matching VIBE_FAIL_CYCLE.
+    ParameterInput wide;
+    wide.set("exec", "fail_rank", "0");
+    wide.set("exec", "fail_cycle", "4294967296");
+    EXPECT_EQ(FaultInjector::fromParams(wide).failCycle(),
+              INT64_C(4294967296));
 
     FaultInjector disarmed;
     EXPECT_FALSE(disarmed.armed());

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "util/array4.hpp"
@@ -342,6 +343,17 @@ TEST(ParameterInput, SetOverrides)
     auto pin = ParameterInput::fromString("<m>\nx = 1\n");
     pin.set("m", "x", "9");
     EXPECT_EQ(pin.getInt("m", "x", 0), 9);
+}
+
+TEST(ParameterInput, Int64KeepsFullWidth)
+{
+    // 2^32 truncates through getInt but survives getInt64 — the width
+    // cycle-valued knobs (e.g. <exec> fail_cycle) depend on.
+    auto pin = ParameterInput::fromString("<m>\nx = 4294967296\n");
+    EXPECT_EQ(pin.getInt64("m", "x", 0), INT64_C(4294967296));
+    EXPECT_EQ(pin.getInt64("m", "missing", -1), -1);
+    auto bad = ParameterInput::fromString("<m>\nx = abc\n");
+    EXPECT_THROW(bad.getInt64("m", "x", 0), FatalError);
 }
 
 TEST(ParameterInput, MalformedLineIsFatal)
