@@ -33,7 +33,8 @@ runMeasured(int mesh, int block, const std::string& json_path)
                 "^3 mesh, B" + std::to_string(block) + ", L2, burgers");
     table.setHeader({"ranks", "threads/rank", "zone-cyc/s", "speedup",
                      "remote msgs", "remote MB", "allreduces",
-                     "migrated KB", "bnd msgs/cyc", "bnd MB/cyc"});
+                     "migrated KB", "bnd msgs/cyc", "bnd MB/cyc",
+                     "idle %", "idle s/rank"});
 
     double base_fom = 0.0;
     for (int ranks : {1, 2, 4}) {
@@ -49,6 +50,15 @@ runMeasured(int mesh, int block, const std::string& json_path)
             const ExperimentResult result = Experiment(spec).run();
             if (ranks == 1 && threads == 1)
                 base_fom = result.measuredFom();
+            // Per-rank idle attribution (src/obs/attribution.hpp):
+            // a rank idling far above its peers is starved, one with
+            // none is the straggler the balancer should split.
+            std::string idle_per_rank;
+            for (double idle : result.idle.rankIdleSeconds) {
+                if (!idle_per_rank.empty())
+                    idle_per_rank += "|";
+                idle_per_rank += formatFixed(idle, 2);
+            }
             table.addRow(
                 {std::to_string(ranks), std::to_string(threads),
                  formatSci(result.measuredFom(), 2),
@@ -60,14 +70,27 @@ runMeasured(int mesh, int block, const std::string& json_path)
                  std::to_string(result.traffic.allReduces),
                  formatFixed(result.migratedStorageBytes / 1.0e3, 1),
                  formatFixed(result.messagesPerCycle(), 1),
-                 formatFixed(result.boundaryBytesPerCycle() / 1.0e6,
-                             3)});
-            report.add("measured_rank_scaling",
-                       {{"ranks", std::to_string(ranks)},
-                        {"threads", std::to_string(threads)},
-                        {"mesh", std::to_string(mesh)},
-                        {"block", std::to_string(block)}},
+                 formatFixed(result.boundaryBytesPerCycle() / 1.0e6, 3),
+                 formatFixed(100.0 * result.idle.idleFraction(), 1),
+                 idle_per_rank});
+            const std::vector<std::pair<std::string, std::string>> cfg{
+                {"ranks", std::to_string(ranks)},
+                {"threads", std::to_string(threads)},
+                {"mesh", std::to_string(mesh)},
+                {"block", std::to_string(block)}};
+            report.add("measured_rank_scaling", cfg,
                        result.wallSeconds);
+            report.add("measured_idle_fraction", cfg,
+                       result.idle.idleFraction());
+            report.add("measured_critical_path_seconds", cfg,
+                       result.idle.criticalPathSeconds);
+            for (std::size_t r = 0;
+                 r < result.idle.rankIdleSeconds.size(); ++r) {
+                auto rank_cfg = cfg;
+                rank_cfg.push_back({"rank", std::to_string(r)});
+                report.add("measured_rank_idle_seconds", rank_cfg,
+                           result.idle.rankIdleSeconds[r]);
+            }
         }
     }
     table.addNote("N-rank state is bitwise identical to 1-rank "

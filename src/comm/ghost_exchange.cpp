@@ -7,6 +7,7 @@
 
 #include "exec/par_for.hpp"
 #include "mesh/prolong_restrict.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -51,6 +52,10 @@ GhostExchange::GhostExchange(Mesh& mesh, RankWorld& world,
 void
 GhostExchange::exchangeBounds()
 {
+    // Monolithic (non-graph) path: initialization and direct tests.
+    // In-cycle exchanges run as task graphs and get per-task spans.
+    TraceSpan span("ExchangeBounds", TraceCat::Comm,
+                   mesh_->collectiveRank());
     if (fused()) {
         // Monolithic callers (driver initialization, direct tests) are
         // serial points, so the lazy rebuild may happen right here.
@@ -266,6 +271,8 @@ GhostExchange::receiveBoundBufs()
         // poll until every expected buffer arrived (the real code's
         // Iprobe progress loop) instead of asserting instant delivery.
         const int rank = mesh_->shardRank();
+        // vibe-lint: allow(obs-isolation) peer-wait deadline bounding
+        // the Iprobe progress loop, not timing instrumentation.
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration<double>(kPeerWaitSeconds);
@@ -502,6 +509,8 @@ GhostExchange::unpackBoundsChannel(const BoundsChannel& ch,
 void
 GhostExchange::exchangeFluxCorrections()
 {
+    TraceSpan span("ExchangeFluxCorrections", TraceCat::Comm,
+                   mesh_->collectiveRank());
     if (fused()) {
         // Serial point for monolithic callers; see exchangeBounds().
         plan_.ensureBuilt();
@@ -890,6 +899,8 @@ GhostExchange::receiveFusedPhase(PlanPhase phase)
     if (mesh_->sharded()) {
         // Concurrent peers: poll with a deadline, as the per-face
         // sharded receive loop does.
+        // vibe-lint: allow(obs-isolation) peer-wait deadline bounding
+        // the Iprobe progress loop, not timing instrumentation.
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration<double>(kPeerWaitSeconds);

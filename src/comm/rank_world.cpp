@@ -1,5 +1,6 @@
 #include "comm/rank_world.hpp"
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -217,6 +218,10 @@ RankWorld::rendezvous(int rank, const void* contribution,
 {
     require(rank >= 0 && rank < nranks_,
             "collective rank out of range: ", rank);
+    // The span covers arrival through release: on the last-arriving
+    // rank it is nearly instant, on early ranks it IS the rendezvous
+    // wait — the per-rank imbalance picture in the timeline.
+    TraceSpan span("Rendezvous", TraceCat::Comm, rank);
     UniqueLock lock(coll_mutex_);
     if (failed_.load())
         panic("collective entered after a rank failed: ",

@@ -11,11 +11,24 @@
 #include "driver/tagger.hpp"
 #include "io/checkpoint.hpp"
 #include "io/checkpoint_writer.hpp"
+#include "io/metrics_writer.hpp"
+#include "io/trace_writer.hpp"
 #include "mesh/variable.hpp"
+#include "obs/obs_config.hpp"
+#include "obs/trace.hpp"
 #include "pkg/package_registry.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
+
+Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec)
+{
+    const ObsConfig env = ObsConfig::fromEnv();
+    if (spec_.tracePath.empty())
+        spec_.tracePath = env.tracePath;
+    if (spec_.metricsPath.empty())
+        spec_.metricsPath = env.metricsPath;
+}
 
 double
 ExperimentSpec::fixedDt() const
@@ -37,6 +50,47 @@ ExperimentResult::paperScale() const
                : memory_defaults.paperRunCycles /
                      static_cast<double>(history.size());
 }
+
+namespace {
+
+/**
+ * The run footer closes the JSONL stream: build/config identity as
+ * strings, run totals as numbers. Written only for a successful
+ * attempt, so its presence doubles as a completion marker.
+ */
+void
+writeRunFooter(MetricsWriter& metrics, const ExperimentSpec& spec,
+               const ExperimentResult& result)
+{
+    std::map<std::string, std::string> identity;
+    identity["git"] = buildDescribe();
+    identity["package"] = spec.package;
+    identity["mode"] = spec.numeric ? "numeric" : "counting";
+
+    MetricsRegistry totals;
+    totals.set("ranks", spec.numRanks);
+    totals.set("threads", spec.numThreads);
+    totals.set("cycles", static_cast<double>(result.history.size()));
+    totals.set("wall_seconds", result.wallSeconds);
+    totals.set("fom.zone_cycles_per_s", result.measuredFom());
+    totals.set("zone_cycles", static_cast<double>(result.zoneCycles));
+    totals.set("restarts", result.restarts);
+    totals.set("checkpoint.snapshots", result.checkpointsWritten);
+    totals.set("traffic.remote_messages",
+               static_cast<double>(result.traffic.remoteMessages));
+    totals.set("traffic.remote_bytes", result.traffic.remoteBytes);
+    totals.set("task.wall_seconds", result.idle.taskWallSeconds);
+    totals.set("task.busy_seconds", result.idle.busySeconds);
+    totals.set("task.idle_seconds", result.idle.idleSeconds);
+    totals.set("task.critical_path_seconds",
+               result.idle.criticalPathSeconds);
+    totals.set("task.idle_fraction", result.idle.idleFraction());
+    totals.set("trace.dropped_events",
+               static_cast<double>(TraceRecorder::instance().dropped()));
+    metrics.writeFooter(identity, totals);
+}
+
+} // namespace
 
 ExperimentResult
 Experiment::run() const
@@ -67,6 +121,7 @@ Experiment::run() const
     int restarts = 0;
     double recovery_seconds = 0;
     std::optional<CheckpointImage> restore;
+    const bool tracing = !spec.tracePath.empty();
     for (;;) {
         // The writer lives in the retry scope, not the attempt: when an
         // attempt unwinds, the async drain still finishes the last
@@ -75,20 +130,45 @@ Experiment::run() const
         std::optional<CheckpointWriter> writer;
         if (spec.checkpointEvery > 0)
             writer.emplace(spec.checkpointPath, spec.checkpointAsync);
+        // The metrics stream likewise restarts per attempt (truncating
+        // open): the file always describes one coherent run, and a
+        // retried run's heartbeat starts over at its restored cycle.
+        std::optional<MetricsWriter> metrics;
+        if (!spec.metricsPath.empty())
+            metrics.emplace(spec.metricsPath);
+        // Tracing covers one attempt: start() clears the buffers, so a
+        // failed attempt's events never leak into the retry's timeline.
+        if (tracing)
+            TraceRecorder::instance().start();
         try {
             ExperimentResult result =
                 runAttempt(injector.armed() ? &injector : nullptr,
                            restore ? &*restore : nullptr,
-                           writer ? &*writer : nullptr);
+                           writer ? &*writer : nullptr,
+                           metrics ? &*metrics : nullptr);
             result.restarts = restarts;
             result.recoverySeconds = recovery_seconds;
+            result.idle = attributeIdle(result.history);
+            if (tracing) {
+                const std::vector<TraceEvent> events =
+                    TraceRecorder::instance().drain();
+                writeChromeTrace(spec.tracePath, events);
+            }
+            if (metrics)
+                writeRunFooter(*metrics, spec, result);
             return result;
         } catch (const RestoreError&) {
             // Restore-validation failures are deterministic: the same
             // image re-fails identically on every retry, so surface the
             // real cause instead of burning the restart budget on it.
+            if (tracing)
+                TraceRecorder::instance().stop();
             throw;
         } catch (const std::exception& e) {
+            // Leave no recorder armed behind a propagating failure:
+            // later experiments in this process must start clean.
+            if (tracing)
+                TraceRecorder::instance().stop();
             if (spec.checkpointEvery <= 0 ||
                 restarts >= spec.maxRestarts)
                 throw;
@@ -146,7 +226,8 @@ Experiment::run() const
 ExperimentResult
 Experiment::runAttempt(FaultInjector* injector,
                        const CheckpointImage* restore,
-                       CheckpointWriter* writer) const
+                       CheckpointWriter* writer,
+                       MetricsWriter* metrics) const
 {
     const ExperimentSpec& spec = spec_;
     ExperimentResult result;
@@ -193,6 +274,8 @@ Experiment::runAttempt(FaultInjector* injector,
                       });
         if (writer)
             team.setCheckpointWriter(writer);
+        if (metrics)
+            team.setMetricsWriter(metrics);
         if (injector)
             team.setFaultInjector(injector);
         if (restore)
@@ -283,6 +366,8 @@ Experiment::runAttempt(FaultInjector* injector,
     EvolutionDriver driver(mesh, *package, world, tagger, driver_config);
     if (writer)
         driver.setCheckpointWriter(writer);
+    if (metrics)
+        driver.setMetricsWriter(metrics);
     if (injector)
         driver.setFaultInjector(injector);
     const auto wall_start = std::chrono::steady_clock::now();

@@ -16,6 +16,7 @@
 #include "driver/evolution_driver.hpp"
 #include "exec/kernel_profiler.hpp"
 #include "exec/memory_tracker.hpp"
+#include "obs/attribution.hpp"
 #include "perfmodel/execution_model.hpp"
 #include "perfmodel/platform.hpp"
 
@@ -93,6 +94,20 @@ struct ExperimentSpec
     int failRank = -1;
     std::int64_t failCycle = -1;
 
+    // Observability (the `<obs>` deck block; see obs/obs_config.hpp).
+    /**
+     * Chrome trace-event JSON destination ("" = tracing off). Empty
+     * falls back to the VIBE_TRACE environment knob at construction.
+     * The trace covers the final (successful) attempt only.
+     */
+    std::string tracePath;
+    /**
+     * Per-cycle JSONL heartbeat destination ("" = metrics off). Empty
+     * falls back to VIBE_METRICS. Cycle records stream during the run;
+     * a footer record with build/config identity closes the file.
+     */
+    std::string metricsPath;
+
     // Platform.
     PlatformConfig platform = PlatformConfig::gpu(1, 1);
 
@@ -134,6 +149,9 @@ struct ExperimentResult
     double checkpointCaptureSeconds = 0;
     /** Encode+disk seconds (off-thread in async mode). */
     double checkpointDrainSeconds = 0;
+
+    /** Run-total idle / critical-path attribution over `history`. */
+    IdleSummary idle;
 
     /** Measured zone-cycles per wall second (0 if wall time is 0). */
     double measuredFom() const
@@ -194,7 +212,12 @@ struct ExperimentResult
 class Experiment
 {
   public:
-    explicit Experiment(const ExperimentSpec& spec) : spec_(spec) {}
+    /**
+     * Captures the spec; empty trace/metrics paths pick up the
+     * VIBE_TRACE / VIBE_METRICS environment knobs here, so every
+     * harness entry point honors them uniformly.
+     */
+    explicit Experiment(const ExperimentSpec& spec);
 
     /**
      * Build the workload, simulate, and evaluate the platform model.
@@ -225,7 +248,8 @@ class Experiment
      */
     ExperimentResult runAttempt(FaultInjector* injector,
                                 const CheckpointImage* restore,
-                                CheckpointWriter* writer) const;
+                                CheckpointWriter* writer,
+                                MetricsWriter* writer_metrics) const;
 
     ExperimentSpec spec_;
 };

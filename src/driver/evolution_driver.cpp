@@ -1,5 +1,6 @@
 #include "driver/evolution_driver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -9,7 +10,10 @@
 #include "exec/par_for.hpp"
 #include "io/checkpoint.hpp"
 #include "io/checkpoint_writer.hpp"
+#include "io/metrics_writer.hpp"
+#include "mesh/block_memory_pool.hpp"
 #include "mesh/prolong_restrict.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -234,6 +238,17 @@ EvolutionDriver::run()
 void
 EvolutionDriver::doCycle()
 {
+    // vibe-lint: allow(obs-isolation) cycle wall clock: this read IS
+    // the heartbeat FOM's denominator — the one timing the obs API
+    // cannot supply to itself.
+    const auto cycle_start = std::chrono::steady_clock::now();
+    const int trace_rank = mesh_->collectiveRank();
+    TraceSpan cycle_span("Cycle", TraceCat::Driver, trace_rank, cycle_);
+    cycle_task_wall_ = 0;
+    cycle_busy_ = 0;
+    cycle_idle_ = 0;
+    cycle_critical_ = 0;
+
     // Fault-injection point: before the cycle's first collective (the
     // dt allreduce), so when the armed rank dies its peers are already
     // blocked in a rendezvous — the worst case the abort path must
@@ -245,11 +260,15 @@ EvolutionDriver::doCycle()
     // between the end of the previous cycle and here, so estimating at
     // the top of the cycle yields the identical dt the old
     // end-of-previous-cycle estimate produced, with half the sweeps.
-    dt_ = mesh_->config().packInterior
-              ? package_->estimateTimestepPack(*mesh_, ensurePack(),
-                                               *world_, config_.fixedDt)
-              : package_->estimateTimestep(*mesh_, *world_,
-                                           config_.fixedDt);
+    {
+        TraceSpan span("EstimateTimeStep", TraceCat::Driver,
+                       trace_rank, cycle_);
+        dt_ = mesh_->config().packInterior
+                  ? package_->estimateTimestepPack(
+                        *mesh_, ensurePack(), *world_, config_.fixedDt)
+                  : package_->estimateTimestep(*mesh_, *world_,
+                                               config_.fixedDt);
+    }
 
     CycleStats stats;
     stats.cycle = cycle_;
@@ -269,7 +288,11 @@ EvolutionDriver::doCycle()
     zone_cycles_ += stats.interiorCells;
 
     // --- LoadBalancingAndAMR ---
-    loadBalancingAndAmr();
+    {
+        TraceSpan span("LoadBalancingAndAMR", TraceCat::Driver,
+                       trace_rank, cycle_);
+        loadBalancingAndAmr();
+    }
 
     // --- Per-cycle history output (VIBE's MassHistory) ---
     stats.mass = package_->massHistory(*mesh_, *world_);
@@ -287,7 +310,25 @@ EvolutionDriver::doCycle()
     stats.derefined = last_derefined_;
     stats.movedBlocks = last_moved_;
     stats.migratedStorageBytes = last_migrated_bytes_;
+    stats.taskWallSeconds = cycle_task_wall_;
+    stats.busySeconds = cycle_busy_;
+    stats.idleSeconds = cycle_idle_;
+    stats.criticalPathSeconds = cycle_critical_;
     history_.push_back(stats);
+
+    if (TraceRecorder::enabled()) {
+        traceCounter("nblocks", trace_rank, stats.cycle,
+                     static_cast<double>(stats.nblocks));
+        if (stats.refined > 0 || stats.derefined > 0)
+            traceInstant("Remesh", TraceCat::Driver, trace_rank,
+                         stats.cycle,
+                         static_cast<double>(stats.refined +
+                                             stats.derefined));
+        if (stats.movedBlocks > 0)
+            traceInstant("Migration", TraceCat::Comm, trace_rank,
+                         stats.cycle,
+                         static_cast<double>(stats.movedBlocks));
+    }
 
     // Cycle boundary: all launches have completed, so fold any
     // instrumentation recorded on pool worker threads back into the
@@ -297,6 +338,98 @@ EvolutionDriver::doCycle()
         ctx.profiler()->sync();
     if (ctx.tracker())
         ctx.tracker()->sync();
+
+    if (metrics_writer_) {
+        // vibe-lint: allow(obs-isolation) heartbeat FOM denominator
+        // (see cycle_start above); taken only when metrics are on.
+        const double cycle_wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cycle_start)
+                .count();
+        emitHeartbeat(stats, cycle_wall);
+    }
+}
+
+void
+EvolutionDriver::runGraph(TaskList& tl, const TaskExecOptions& options)
+{
+    tl.setTrace(mesh_->collectiveRank(), cycle_);
+    tl.execute(options);
+    const double wall = tl.lastExecuteSeconds();
+    const double comm = tl.categorySeconds(TaskCategory::Comm);
+    const double compute = tl.categorySeconds(TaskCategory::Compute);
+    task_wall_seconds_ += wall;
+    task_comm_seconds_ += comm;
+    task_compute_seconds_ += compute;
+    const int concurrency =
+        options.space ? options.space->concurrency() : 1;
+    cycle_task_wall_ += wall;
+    cycle_busy_ += comm + compute;
+    // Idle = capacity the executor offered minus capacity task bodies
+    // used. Clamped: timer granularity can make busy exceed wall x
+    // threads by epsilon on tiny graphs.
+    cycle_idle_ += std::max(
+        0.0, wall * concurrency - (comm + compute));
+    cycle_critical_ += tl.criticalPathSeconds();
+}
+
+void
+EvolutionDriver::accountFused(double seconds)
+{
+    const int concurrency = mesh_->ctx().space().concurrency();
+    task_wall_seconds_ += seconds;
+    task_compute_seconds_ += seconds;
+    cycle_task_wall_ += seconds;
+    cycle_busy_ += seconds * concurrency;
+    cycle_critical_ += seconds;
+}
+
+void
+EvolutionDriver::emitHeartbeat(const CycleStats& stats,
+                               double cycle_wall)
+{
+    MetricsRegistry m;
+    m.set("cycle", static_cast<double>(stats.cycle));
+    m.set("time", stats.time);
+    m.set("dt", stats.dt);
+    m.set("wall_seconds", cycle_wall);
+    m.set("nblocks", static_cast<double>(stats.nblocks));
+    m.set("interior_cells", static_cast<double>(stats.interiorCells));
+    m.set("fom.zone_cycles_per_s",
+          cycle_wall > 0
+              ? static_cast<double>(stats.interiorCells) / cycle_wall
+              : 0.0);
+    m.set("boundary.messages",
+          static_cast<double>(stats.boundaryMessages));
+    m.set("boundary.bytes", stats.boundaryBytes);
+    m.set("wire.cells", static_cast<double>(stats.wireCells));
+    m.set("wire.faces", static_cast<double>(stats.wireFaces));
+    m.set("amr.refined", static_cast<double>(stats.refined));
+    m.set("amr.derefined", static_cast<double>(stats.derefined));
+    m.set("lb.moved_blocks", static_cast<double>(stats.movedBlocks));
+    m.set("lb.migrated_bytes", stats.migratedStorageBytes);
+    m.set("mass", stats.mass);
+    m.set("checkpoint.seconds", stats.checkpointSeconds);
+    m.set("task.wall_seconds", stats.taskWallSeconds);
+    m.set("task.busy_seconds", stats.busySeconds);
+    m.set("task.idle_seconds", stats.idleSeconds);
+    m.set("task.critical_path_seconds", stats.criticalPathSeconds);
+    if (const BlockMemoryPool* pool = mesh_->memoryPool()) {
+        m.set("pool.hits", static_cast<double>(pool->poolHits()));
+        m.set("pool.fresh_allocs",
+              static_cast<double>(pool->freshAllocs()));
+        m.set("pool.idle_bytes",
+              static_cast<double>(pool->idleBytes()));
+    }
+    const Traffic traffic = world_->traffic();
+    m.set("traffic.remote_messages",
+          static_cast<double>(traffic.remoteMessages));
+    m.set("traffic.remote_bytes", traffic.remoteBytes);
+    m.set("traffic.all_reduces",
+          static_cast<double>(traffic.allReduces));
+    m.set("traffic.all_gathers",
+          static_cast<double>(traffic.allGathers));
+    metrics_writer_->writeCycle(m);
 }
 
 TaskExecOptions
@@ -331,6 +464,10 @@ EvolutionDriver::maybeWriteCheckpoint(CycleStats& stats)
     // Capture needs real block state; counting mode has none.
     if (!mesh_->ctx().executing())
         return;
+    TraceSpan span("CheckpointCapture", TraceCat::Io,
+                   mesh_->collectiveRank(), cycle_);
+    // vibe-lint: allow(obs-isolation) capture seconds are a CycleStats
+    // field of their own (stats.checkpointSeconds), not a log line.
     const auto start = std::chrono::steady_clock::now();
     // The capture runs as a task in the stage graph: the gather is a
     // collective (every rank's poll/abort policy applies), and the
@@ -348,9 +485,7 @@ EvolutionDriver::maybeWriteCheckpoint(CycleStats& stats)
             return TaskStatus::Complete;
         },
         {}, TaskCategory::Comm);
-    tl.execute(stageExecOptions());
-    task_wall_seconds_ += tl.lastExecuteSeconds();
-    task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
+    runGraph(tl, stageExecOptions());
     // Only the rank holding the writer (rank 0 on a team) touches
     // disk; the image every other rank assembled is identical and is
     // simply dropped.
@@ -378,11 +513,7 @@ EvolutionDriver::step()
         TaskList tl = exchange_.fused()
                           ? buildStageGraphFused(stage, fc)
                           : buildStageGraph(stage, fc);
-        tl.execute(stageExecOptions());
-        task_wall_seconds_ += tl.lastExecuteSeconds();
-        task_comm_seconds_ += tl.categorySeconds(TaskCategory::Comm);
-        task_compute_seconds_ +=
-            tl.categorySeconds(TaskCategory::Compute);
+        runGraph(tl, stageExecOptions());
 
         comm_cells_ += exchange_.lastWireCells();
         boundary_messages_ += exchange_.lastBoundaryMessages();
@@ -421,6 +552,9 @@ EvolutionDriver::ensurePack()
 void
 EvolutionDriver::stepPacked(bool flux_correction)
 {
+    // vibe-lint: allow(obs-isolation) fused launches run outside any
+    // task graph, so this clock is the only source of the fused
+    // compute seconds the overlap/idle accounting folds in.
     using clock = std::chrono::steady_clock;
     MeshBlockPack& pack = ensurePack();
     const TaskExecOptions options = stageExecOptions();
@@ -429,10 +563,7 @@ EvolutionDriver::stepPacked(bool flux_correction)
     for (int stage = 1; stage <= 2; ++stage) {
         TaskList bounds = exchange_.fused() ? buildBoundsGraphFused()
                                             : buildBoundsGraph();
-        bounds.execute(options);
-        task_wall_seconds_ += bounds.lastExecuteSeconds();
-        task_comm_seconds_ +=
-            bounds.categorySeconds(TaskCategory::Comm);
+        runGraph(bounds, options);
 
         const auto t_flux = clock::now();
         package_->calculateFluxesPack(*mesh_, pack);
@@ -444,10 +575,7 @@ EvolutionDriver::stepPacked(bool flux_correction)
             TaskList fcorr = exchange_.fused()
                                  ? buildFluxCorrGraphFused()
                                  : buildFluxCorrGraph();
-            fcorr.execute(options);
-            task_wall_seconds_ += fcorr.lastExecuteSeconds();
-            task_comm_seconds_ +=
-                fcorr.categorySeconds(TaskCategory::Comm);
+            runGraph(fcorr, options);
         }
 
         const auto t_update = clock::now();
@@ -456,8 +584,7 @@ EvolutionDriver::stepPacked(bool flux_correction)
         fused_seconds +=
             std::chrono::duration<double>(clock::now() - t_update)
                 .count();
-        task_wall_seconds_ += fused_seconds;
-        task_compute_seconds_ += fused_seconds;
+        accountFused(fused_seconds);
 
         comm_cells_ += exchange_.lastWireCells();
         boundary_messages_ += exchange_.lastBoundaryMessages();
@@ -947,6 +1074,9 @@ EvolutionDriver::applyRestructureData(
                               std::move(payload), bytes);
             }
         }
+        // vibe-lint: allow(obs-isolation) peer-wait deadline, not
+        // timing instrumentation: bounds how long a parent waits for
+        // a remote child's restriction octant.
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<

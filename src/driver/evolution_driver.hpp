@@ -33,6 +33,7 @@ namespace vibe {
 
 class CheckpointWriter;
 class FaultInjector;
+class MetricsWriter;
 struct CheckpointImage;
 
 /** Loop-control parameters (paper §II-G policies as defaults). */
@@ -102,6 +103,30 @@ struct CycleStats
      * checkpoint.
      */
     double checkpointSeconds = 0;
+
+    // Task-graph attribution (obs subsystem). Wall quantities are
+    // per-rank wall seconds; busy/idle are thread-seconds summed over
+    // the executor's concurrency, so busy + idle = wall x threads.
+    /** Wall seconds this cycle's task graphs took to execute. */
+    double taskWallSeconds = 0;
+    /** Thread-seconds spent inside task bodies (compute + comm). */
+    double busySeconds = 0;
+    /**
+     * Thread-seconds the executor had available but no ready task
+     * filled — the starvation signal measured-cost load balancing
+     * (ROADMAP item 4) attributes per rank.
+     */
+    double idleSeconds = 0;
+    /**
+     * Longest dependency chain through this cycle's graphs (summed
+     * task seconds): the wall-clock floor no concurrency can beat.
+     */
+    double criticalPathSeconds = 0;
+    /**
+     * Per-rank idle thread-seconds. Empty on a plain per-rank history;
+     * RankTeam::aggregatedHistory fills one entry per rank.
+     */
+    std::vector<double> rankIdleSeconds;
 };
 
 /** Runs the timestep loop over a Mesh. */
@@ -149,6 +174,18 @@ class EvolutionDriver
     void setFaultInjector(FaultInjector* injector)
     {
         fault_injector_ = injector;
+    }
+
+    /**
+     * Install a metrics writer (not owned; may be null). The driver
+     * then emits one JSONL heartbeat record at the end of every cycle.
+     * On a rank team only rank 0's driver gets one (same idiom as the
+     * checkpoint writer), so the heartbeat's wire counters are rank
+     * 0's shard view; run totals come from the Experiment footer.
+     */
+    void setMetricsWriter(MetricsWriter* writer)
+    {
+        metrics_writer_ = writer;
     }
 
     /** Wall seconds spent in checkpoint capture gathers so far. */
@@ -253,6 +290,24 @@ class EvolutionDriver
     /** Execution options for stage graphs (space + peer-wait policy). */
     TaskExecOptions stageExecOptions() const;
     /**
+     * Execute one task graph and fold its timings into the run totals
+     * AND the current cycle's attribution accumulators (wall, busy,
+     * idle, critical path) — the single funnel every stage graph,
+     * bounds graph and checkpoint capture goes through, so the
+     * fig14 overlap columns and the obs idle attribution cannot
+     * diverge. Also stamps the graph's (rank, cycle) trace identity.
+     */
+    void runGraph(TaskList& tl, const TaskExecOptions& options);
+    /**
+     * Account a fused pack launch (stepPacked's single-launch interior
+     * phases): launches keep every worker loaded by construction, so
+     * they contribute wall + full-concurrency busy and extend the
+     * critical path, but no idle.
+     */
+    void accountFused(double seconds);
+    /** Emit the per-cycle JSONL heartbeat (metrics writer installed). */
+    void emitHeartbeat(const CycleStats& stats, double cycle_wall);
+    /**
      * Capture-and-enqueue hook at the end of a cycle: when the cycle
      * count hits `checkpointEvery`, run the collective capture as a
      * task in the stage graph and hand the image to the writer (if one
@@ -304,8 +359,15 @@ class EvolutionDriver
     double task_comm_seconds_ = 0;
     double task_compute_seconds_ = 0;
     double checkpoint_capture_seconds_ = 0;
+    // Current-cycle attribution accumulators (reset in doCycle, folded
+    // into CycleStats at the end of the cycle).
+    double cycle_task_wall_ = 0;
+    double cycle_busy_ = 0;
+    double cycle_idle_ = 0;
+    double cycle_critical_ = 0;
     CheckpointWriter* checkpoint_writer_ = nullptr;
     FaultInjector* fault_injector_ = nullptr;
+    MetricsWriter* metrics_writer_ = nullptr;
     std::vector<CycleStats> history_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/par_for.hpp"
+#include "obs/trace.hpp"
 
 namespace vibe {
 
@@ -144,6 +145,9 @@ loadBalance(Mesh& mesh, RankWorld& world)
     // the serialized state. Peers' sends were posted in their pass 1,
     // so a bounded poll wait suffices.
     if (sharded) {
+        TraceSpan span("MigrateBlocks", TraceCat::Comm, my_rank);
+        // vibe-lint: allow(obs-isolation) peer-wait deadline bounding
+        // the migration receive loop, not timing instrumentation.
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<

@@ -1,5 +1,6 @@
 #include "driver/rank_team.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -60,6 +61,8 @@ RankTeam::runRank(int rank)
         // Rank 0 alone touches disk; every rank joins the gathers.
         if (rank == 0 && checkpoint_writer_)
             driver.setCheckpointWriter(checkpoint_writer_);
+        if (rank == 0 && metrics_writer_)
+            driver.setMetricsWriter(metrics_writer_);
         if (restore_image_)
             driver.initializeFromCheckpoint(*restore_image_);
         else
@@ -98,6 +101,8 @@ RankTeam::run()
     require(!ran_, "RankTeam::run() may only be called once");
     ran_ = true;
 
+    // vibe-lint: allow(obs-isolation) run wall clock is the measured
+    // FOM denominator (ExperimentResult::wallSeconds), not logging.
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_ranks_));
@@ -185,6 +190,29 @@ RankTeam::aggregatedHistory() const
             history[c].wireFaces += other[c].wireFaces;
             history[c].boundaryMessages += other[c].boundaryMessages;
             history[c].boundaryBytes += other[c].boundaryBytes;
+        }
+    }
+    // Per-rank idle split (ROADMAP item 4's starvation signal), plus
+    // team totals for the aggregate attribution fields: wall is the
+    // slowest rank (they run concurrently), busy/idle are summed
+    // thread-seconds, and the critical path is the longest any rank
+    // saw — the team cannot finish a cycle before its slowest chain.
+    for (std::size_t c = 0; c < history.size(); ++c) {
+        history[c].rankIdleSeconds.assign(states_.size(), 0.0);
+        history[c].taskWallSeconds = 0;
+        history[c].busySeconds = 0;
+        history[c].idleSeconds = 0;
+        history[c].criticalPathSeconds = 0;
+        for (std::size_t r = 0; r < states_.size(); ++r) {
+            const CycleStats& own = states_[r]->driver->history()[c];
+            history[c].rankIdleSeconds[r] = own.idleSeconds;
+            history[c].taskWallSeconds = std::max(
+                history[c].taskWallSeconds, own.taskWallSeconds);
+            history[c].busySeconds += own.busySeconds;
+            history[c].idleSeconds += own.idleSeconds;
+            history[c].criticalPathSeconds =
+                std::max(history[c].criticalPathSeconds,
+                         own.criticalPathSeconds);
         }
     }
     return history;

@@ -109,6 +109,16 @@ class RankTeam
         fault_injector_ = injector;
     }
 
+    /**
+     * JSONL heartbeat writer (not owned; may be null). Installed on
+     * rank 0's driver only, same discipline as the checkpoint writer:
+     * one heartbeat stream per run, never one per rank.
+     */
+    void setMetricsWriter(MetricsWriter* writer)
+    {
+        metrics_writer_ = writer;
+    }
+
     /** Per-rank state (valid after run()). */
     Mesh& mesh(int rank) { return *states_.at(rank)->mesh; }
     EvolutionDriver& driver(int rank)
@@ -183,6 +193,7 @@ class RankTeam
     const CheckpointImage* restore_image_ = nullptr;
     CheckpointWriter* checkpoint_writer_ = nullptr;
     FaultInjector* fault_injector_ = nullptr;
+    MetricsWriter* metrics_writer_ = nullptr;
     double wall_seconds_ = 0;
     bool ran_ = false;
 

@@ -1,11 +1,13 @@
 #include "driver/task_list.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <exception>
 #include <thread>
 
 #include "exec/execution_space.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_safety.hpp"
 
@@ -19,6 +21,26 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * One task attempt as an obs span. Called outside any executor lock,
+ * on the thread that ran the attempt, with the timing the executor
+ * already took — tracing adds no clock reads of its own here.
+ */
+void
+traceAttempt(const std::string& name, TaskCategory category, int rank,
+             std::int64_t cycle, const std::string& graph_label,
+             Clock::time_point begin, double seconds, bool iterated)
+{
+    if (!TraceRecorder::enabled())
+        return;
+    TraceRecorder::instance().recordSpan(
+        name,
+        category == TaskCategory::Comm ? TraceCat::Comm
+                                       : TraceCat::Compute,
+        rank, cycle, graph_label, begin, seconds,
+        iterated ? TraceEvent::kPollRetry : std::uint16_t{0});
 }
 
 } // namespace
@@ -54,6 +76,21 @@ TaskList::execute(const TaskExecOptions& options)
     else
         executeSerial(options);
     last_execute_seconds_ = secondsSince(start);
+}
+
+double
+TaskList::criticalPathSeconds() const
+{
+    std::vector<double> finish(tasks_.size(), 0.0);
+    double longest = 0;
+    for (std::size_t id = 0; id < tasks_.size(); ++id) {
+        double start = 0;
+        for (TaskId dep : tasks_[id].deps)
+            start = std::max(start, finish[dep]);
+        finish[id] = start + tasks_[id].seconds;
+        longest = std::max(longest, finish[id]);
+    }
+    return longest;
 }
 
 double
@@ -123,7 +160,11 @@ TaskList::executeSerial(const TaskExecOptions& options)
             any_ran = true;
             const auto start = Clock::now();
             const TaskStatus status = task.fn();
-            task.seconds += secondsSince(start);
+            const double seconds = secondsSince(start);
+            task.seconds += seconds;
+            traceAttempt(task.name, task.category, trace_rank_,
+                         trace_cycle_, label_, start, seconds,
+                         status == TaskStatus::Iterate);
             if (status == TaskStatus::Complete) {
                 task.complete = true;
                 completion_order_.push_back(task.name);
@@ -275,6 +316,11 @@ TaskList::executeThreaded(const TaskExecOptions& options,
                 err = std::current_exception();
             }
             const double seconds = secondsSince(start);
+            if (!err)
+                traceAttempt(list.tasks_[id].name,
+                             list.tasks_[id].category, list.trace_rank_,
+                             list.trace_cycle_, list.label_, start,
+                             seconds, status == TaskStatus::Iterate);
             // Give other pollers and pool peers a chance between
             // fruitless probes of an otherwise idle queue.
             if (!err && status == TaskStatus::Iterate)

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -142,6 +143,27 @@ class TaskList
     double lastExecuteSeconds() const { return last_execute_seconds_; }
 
     /**
+     * Attribute this graph's task spans to (rank, cycle) in the obs
+     * timeline. Both backends emit one span per task *attempt*
+     * (attempts that return Iterate carry TraceEvent::kPollRetry, so
+     * non-retry span counts are deterministic: exactly one completing
+     * attempt per task). No-op overhead when tracing is off.
+     */
+    void setTrace(int rank, std::int64_t cycle)
+    {
+        trace_rank_ = rank;
+        trace_cycle_ = cycle;
+    }
+
+    /**
+     * Longest dependency chain of the last execute(), in summed task
+     * seconds — the wall-clock lower bound no amount of concurrency
+     * can beat. A single forward pass suffices because addTask
+     * guarantees every dependency has a lower id.
+     */
+    double criticalPathSeconds() const;
+
+    /**
      * Summed task wall seconds of the last execute() for one category
      * (Iterate retries included). Categories can sum to more than
      * lastExecuteSeconds() when tasks overlap — that surplus is the
@@ -170,6 +192,8 @@ class TaskList
     std::vector<std::string> completion_order_;
     std::string label_;
     double last_execute_seconds_ = 0;
+    int trace_rank_ = 0;
+    std::int64_t trace_cycle_ = -1;
 };
 
 } // namespace vibe

@@ -31,6 +31,7 @@
 
 #include "exec/exec_context.hpp"
 #include "exec/kernel_profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace vibe {
 
@@ -230,6 +231,9 @@ parFor(const ExecContext& ctx, std::string_view name,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, items});
     }
+    // One span per launch: thread-count-independent, so traced event
+    // counts are comparable across pool sizes.
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank());
     parForExec(ctx, il, iu, static_cast<F&&>(body));
 }
 
@@ -249,6 +253,7 @@ parFor(const ExecContext& ctx, std::string_view name,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, ni});
     }
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank());
     parForExec(ctx, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
 }
 
@@ -269,6 +274,7 @@ parFor(const ExecContext& ctx, std::string_view name,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, ni});
     }
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank());
     parForExec(ctx, nl, nu, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
 }
 
@@ -299,6 +305,7 @@ parReduce(const ExecContext& ctx, std::string_view name,
     if (!ctx.executing() || ku < kl || ju < jl || iu < il)
         return;
 
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank());
     ExecutionSpace& space = ctx.space();
     const std::int64_t onk = static_cast<std::int64_t>(ku) - kl + 1;
     const std::int64_t onj = static_cast<std::int64_t>(ju) - jl + 1;
@@ -357,6 +364,9 @@ recordKernel(const ExecContext& ctx, std::string_view name, double items,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, innermost});
     }
+    // The body runs elsewhere, so mark the launch as an instant; the
+    // surrounding task span carries the timing.
+    traceInstant(name, TraceCat::Kernel, ctx.currentRank(), -1, items);
 }
 
 /** Record serial (non-kernel) work items of a named category. */
@@ -392,6 +402,7 @@ recordKernelAt(const ExecContext& ctx, std::string_view phase, int rank,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, innermost});
     }
+    traceInstant(name, TraceCat::Kernel, rank, -1, items);
 }
 
 /** recordSerial with explicit phase and rank attribution. */
@@ -419,6 +430,7 @@ parForAt(const ExecContext& ctx, std::string_view phase, int rank,
                                 items * costs.flopsPerItem,
                                 items * costs.bytesPerItem, ni});
     }
+    TraceSpan trace(name, TraceCat::Kernel, rank, -1, phase);
     parForExec(ctx, kl, ku, jl, ju, il, iu, static_cast<F&&>(body));
 }
 
@@ -555,6 +567,9 @@ recordPackKernel(const ExecContext& ctx, std::string_view phase,
                  const int* ranks, int nblocks, double items_per_block,
                  double innermost)
 {
+    if (nblocks > 0)
+        traceInstant(name, TraceCat::Kernel, ctx.currentRank(), -1,
+                     nblocks * items_per_block);
     if (!ctx.profiler() || nblocks <= 0)
         return;
     std::uint64_t launches = 1;
@@ -589,6 +604,14 @@ recordPackKernelItems(const ExecContext& ctx, std::string_view phase,
                       const int* ranks, const double* items, int n,
                       double innermost)
 {
+    if (n > 0) {
+        double total = 0;
+        if (TraceRecorder::enabled())
+            for (int e = 0; e < n; ++e)
+                total += items[e];
+        traceInstant(name, TraceCat::Kernel, ctx.currentRank(), -1,
+                     total);
+    }
     if (!ctx.profiler() || n <= 0)
         return;
     std::uint64_t launches = 1;
@@ -626,6 +649,8 @@ parForPack(const ExecContext& ctx, std::string_view phase,
     const double ni = iu >= il ? static_cast<double>(iu - il + 1) : 0.0;
     recordPackKernel(ctx, phase, name, costs, ranks, nblocks,
                      nn * nk * nj * ni, ni);
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank(), -1,
+                    phase);
     parForPackExec(ctx, nblocks, nl, nu, kl, ku, jl, ju,
                    static_cast<F&&>(body));
 }
@@ -654,6 +679,8 @@ parReducePack(const ExecContext& ctx, std::string_view phase,
         iu < il)
         return;
 
+    TraceSpan trace(name, TraceCat::Kernel, ctx.currentRank(), -1,
+                    phase);
     ExecutionSpace& space = ctx.space();
     const std::int64_t onk = static_cast<std::int64_t>(ku) - kl + 1;
     const std::int64_t onj = static_cast<std::int64_t>(ju) - jl + 1;

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -136,6 +137,10 @@ CheckpointWriter::drainLoop()
 void
 CheckpointWriter::writeOne(const CheckpointImage& image)
 {
+    // In async mode this span lands on the drain thread's own trace
+    // row — the timeline shows the encode+disk work running alongside
+    // the driver's next cycles, which is the point of the async drain.
+    TraceSpan span("CheckpointDrain", TraceCat::Io, 0, image.cycle);
     const double start = nowSeconds();
     const std::vector<std::uint8_t> bytes = encodeCheckpoint(image);
     const std::string tmp = path_ + ".tmp";

@@ -1,0 +1,103 @@
+/**
+ * @file metrics_writer.cpp
+ * JSONL heartbeat/footer serialization.
+ */
+#include "io/metrics_writer.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+namespace {
+
+void
+appendEscaped(std::ostream& out, const std::string& text)
+{
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out << ' ';
+            else
+                out << c;
+        }
+    }
+}
+
+void
+appendNumber(std::ostream& out, double value)
+{
+    if (!std::isfinite(value)) {
+        out << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(15);
+    tmp << value;
+    out << tmp.str();
+}
+
+} // namespace
+
+MetricsWriter::MetricsWriter(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::trunc)
+{
+    require(out_.good(), "cannot open metrics output '", path_, "'");
+}
+
+void
+MetricsWriter::writeCycle(const MetricsRegistry& metrics)
+{
+    writeRecord("cycle", nullptr, metrics);
+}
+
+void
+MetricsWriter::writeFooter(
+    const std::map<std::string, std::string>& identity,
+    const MetricsRegistry& totals)
+{
+    writeRecord("footer", &identity, totals);
+}
+
+void
+MetricsWriter::writeRecord(
+    const char* type,
+    const std::map<std::string, std::string>* strings,
+    const MetricsRegistry& values)
+{
+    out_ << "{\"type\":\"" << type << "\"";
+    if (strings) {
+        for (const auto& [key, value] : *strings) {
+            out_ << ",\"";
+            appendEscaped(out_, key);
+            out_ << "\":\"";
+            appendEscaped(out_, value);
+            out_ << "\"";
+        }
+    }
+    for (const auto& [key, value] : values.values()) {
+        out_ << ",\"";
+        appendEscaped(out_, key);
+        out_ << "\":";
+        appendNumber(out_, value);
+    }
+    out_ << "}\n";
+    out_.flush();
+    require(out_.good(), "failed writing metrics output '", path_, "'");
+    ++records_;
+}
+
+} // namespace vibe

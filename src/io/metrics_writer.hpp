@@ -1,0 +1,55 @@
+/**
+ * @file metrics_writer.hpp
+ * JSONL metrics output: one self-describing JSON object per line —
+ * a "cycle" record per evolution cycle (the heartbeat) and a single
+ * "footer" record with run-level facts and build/config identity.
+ *
+ * Lives under src/io/ so the io-isolation invariant holds; producers
+ * fill a MetricsRegistry (src/obs/) and never see the stream. The
+ * driver writes eagerly (line-buffered with a flush per record) so a
+ * killed run still leaves every completed cycle on disk — the same
+ * motivation as the checkpoint writer's durability discipline.
+ */
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace vibe {
+
+class MetricsWriter
+{
+  public:
+    /** Open (truncate) the JSONL destination; fatal on failure. */
+    explicit MetricsWriter(std::string path);
+
+    /** Emit one `{"type":"cycle", ...}` heartbeat record. */
+    void writeCycle(const MetricsRegistry& metrics);
+
+    /**
+     * Emit the `{"type":"footer", ...}` run record: string-valued
+     * identity fields (git describe, package, ...) plus numeric run
+     * totals. Call once, last.
+     */
+    void writeFooter(const std::map<std::string, std::string>& identity,
+                     const MetricsRegistry& totals);
+
+    /** Records written so far (cycle + footer). */
+    std::int64_t records() const { return records_; }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    void writeRecord(const char* type,
+                     const std::map<std::string, std::string>* strings,
+                     const MetricsRegistry& values);
+
+    std::string path_;
+    std::ofstream out_;
+    std::int64_t records_ = 0;
+};
+
+} // namespace vibe

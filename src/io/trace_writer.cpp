@@ -1,0 +1,166 @@
+/**
+ * @file trace_writer.cpp
+ * Chrome trace-event JSON serialization.
+ */
+#include "io/trace_writer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace vibe {
+
+namespace {
+
+void
+appendEscaped(std::ostream& out, std::string_view text)
+{
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        case '\t':
+            out << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                    << "0123456789abcdef"[c & 0xf];
+            else
+                out << c;
+        }
+    }
+}
+
+void
+appendNumber(std::ostream& out, double value)
+{
+    if (!std::isfinite(value)) {
+        out << "0";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(15);
+    tmp << value;
+    out << tmp.str();
+}
+
+/** Shared event prelude: name, pid (rank), tid, ts. */
+void
+appendCommon(std::ostream& out, const TraceEvent& event)
+{
+    out << "{\"name\":\"";
+    appendEscaped(out, event.nameView());
+    out << "\",\"pid\":" << event.rank << ",\"tid\":" << event.tid
+        << ",\"ts\":";
+    appendNumber(out, event.tsUs);
+}
+
+void
+appendMetadata(std::ostream& out, const char* kind, int pid, int tid,
+               const std::string& label, bool& first)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+    appendEscaped(out, label);
+    out << "\"}}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent>& events)
+{
+    // Collect the row structure first: every rank gets a process row,
+    // every (rank, thread) pair a thread row, so an empty timeline
+    // region still renders as an (idle) labeled track.
+    std::set<int> ranks;
+    std::set<std::pair<int, int>> rank_threads;
+    for (const TraceEvent& event : events) {
+        ranks.insert(event.rank);
+        rank_threads.insert({event.rank, event.tid});
+    }
+
+    std::ostringstream out;
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (int rank : ranks)
+        appendMetadata(out, "process_name", rank, 0,
+                       "rank " + std::to_string(rank), first);
+    for (const auto& [rank, tid] : rank_threads)
+        appendMetadata(out, "thread_name", rank, tid,
+                       "thread " + std::to_string(tid), first);
+
+    for (const TraceEvent& event : events) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        switch (event.kind) {
+        case TraceEvent::Kind::Span:
+            appendCommon(out, event);
+            out << ",\"ph\":\"X\",\"dur\":";
+            appendNumber(out, event.durUs);
+            out << ",\"cat\":\"" << traceCatName(event.cat)
+                << "\",\"args\":{\"cycle\":" << event.cycle;
+            if (event.gid >= 0)
+                out << ",\"gid\":" << event.gid;
+            if (event.phaseView().size() > 0) {
+                out << ",\"phase\":\"";
+                appendEscaped(out, event.phaseView());
+                out << "\"";
+            }
+            if (event.flags & TraceEvent::kPollRetry)
+                out << ",\"poll_retry\":true";
+            out << "}}";
+            break;
+        case TraceEvent::Kind::Instant:
+            appendCommon(out, event);
+            out << ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\""
+                << traceCatName(event.cat)
+                << "\",\"args\":{\"cycle\":" << event.cycle;
+            if (event.gid >= 0)
+                out << ",\"gid\":" << event.gid;
+            if (event.value != 0) {
+                out << ",\"value\":";
+                appendNumber(out, event.value);
+            }
+            out << "}}";
+            break;
+        case TraceEvent::Kind::Counter:
+            appendCommon(out, event);
+            out << ",\"ph\":\"C\",\"args\":{\"value\":";
+            appendNumber(out, event.value);
+            out << "}}";
+            break;
+        }
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+void
+writeChromeTrace(const std::string& path,
+                 const std::vector<TraceEvent>& events)
+{
+    std::ofstream out(path, std::ios::trunc);
+    require(out.good(), "cannot open trace output '", path, "'");
+    out << chromeTraceJson(events);
+    out.flush();
+    require(out.good(), "failed writing trace output '", path, "'");
+}
+
+} // namespace vibe

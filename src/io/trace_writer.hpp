@@ -1,0 +1,35 @@
+/**
+ * @file trace_writer.hpp
+ * Chrome trace-event JSON export for the obs TraceRecorder.
+ *
+ * Lives under src/io/ (not src/obs/) so the io-isolation invariant
+ * holds: this is the only layer that may open files. The recorder
+ * collects; this writer serializes.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vibe {
+
+/**
+ * Write a drained event stream as Chrome trace-event JSON
+ * (`{"traceEvents": [...]}`), loadable by Perfetto and
+ * chrome://tracing. Rows: one process per simulated rank
+ * (pid = rank, named "rank N"), one thread row per recording pool
+ * thread (tid as assigned by the recorder). Span events become "X"
+ * (complete) events with cat/phase/cycle/gid/flags in args; instants
+ * become thread-scoped "i" events; counters become "C" events.
+ *
+ * Fatal if the file cannot be written.
+ */
+void writeChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events);
+
+/** The serialized JSON text (for tests; writeChromeTrace emits it). */
+std::string chromeTraceJson(const std::vector<TraceEvent>& events);
+
+} // namespace vibe

@@ -1,0 +1,29 @@
+/**
+ * @file attribution.cpp
+ * Run-total idle/critical-path attribution from cycle histories.
+ */
+#include "obs/attribution.hpp"
+
+#include "driver/evolution_driver.hpp"
+
+namespace vibe {
+
+IdleSummary
+attributeIdle(const std::vector<CycleStats>& history)
+{
+    IdleSummary summary;
+    for (const CycleStats& c : history) {
+        summary.taskWallSeconds += c.taskWallSeconds;
+        summary.busySeconds += c.busySeconds;
+        summary.idleSeconds += c.idleSeconds;
+        summary.criticalPathSeconds += c.criticalPathSeconds;
+        if (summary.rankIdleSeconds.size() < c.rankIdleSeconds.size())
+            summary.rankIdleSeconds.resize(c.rankIdleSeconds.size(),
+                                           0.0);
+        for (std::size_t r = 0; r < c.rankIdleSeconds.size(); ++r)
+            summary.rankIdleSeconds[r] += c.rankIdleSeconds[r];
+    }
+    return summary;
+}
+
+} // namespace vibe

@@ -1,0 +1,47 @@
+/**
+ * @file attribution.hpp
+ * Derived attribution over per-cycle task timings: where did the
+ * thread-seconds go, and how much of each cycle was irreducible?
+ *
+ * The driver records, per cycle, the task-graph wall time, the
+ * per-category busy sums, the executor concurrency, and the
+ * longest dependency chain (critical path). From those this module
+ * derives idle time — thread-seconds the executor had available but
+ * no ready task filled — which is exactly the per-rank signal
+ * ROADMAP item 4's measured-cost load balancing needs: a rank with
+ * high idle share is starved, one with none is the straggler.
+ */
+#pragma once
+
+#include <vector>
+
+namespace vibe {
+
+struct CycleStats;
+
+/** Run-total attribution derived from a cycle history. */
+struct IdleSummary
+{
+    /** Σ task-graph wall seconds (per-rank view of the run). */
+    double taskWallSeconds = 0;
+    /** Σ busy task seconds (compute + comm, retries included). */
+    double busySeconds = 0;
+    /** Σ idle thread-seconds (capacity the graphs left unfilled). */
+    double idleSeconds = 0;
+    /** Σ per-cycle critical-path seconds (the lower bound on wall). */
+    double criticalPathSeconds = 0;
+    /** Per-rank idle totals (empty when history has no rank split). */
+    std::vector<double> rankIdleSeconds;
+
+    /** Idle share of total capacity (0 when nothing was measured). */
+    double idleFraction() const
+    {
+        const double capacity = busySeconds + idleSeconds;
+        return capacity > 0 ? idleSeconds / capacity : 0.0;
+    }
+};
+
+/** Sum the per-cycle attribution fields over a run history. */
+IdleSummary attributeIdle(const std::vector<CycleStats>& history);
+
+} // namespace vibe

@@ -1,0 +1,66 @@
+/**
+ * @file metrics.hpp
+ * MetricsRegistry: named counters and gauges with deterministic
+ * (lexicographic) emission order.
+ *
+ * The run facts a heartbeat line needs are today scattered across
+ * CycleStats, KernelProfiler, MemoryTracker, RankWorld::traffic() and
+ * the checkpoint writer; the registry is the single funnel those all
+ * pour into so src/io/metrics_writer.cpp can serialize one JSON
+ * object per cycle without knowing any producer. Names use dotted
+ * paths ("boundary.messages", "pool.hits") — the JSONL schema table
+ * in the README is generated from the same names.
+ *
+ * Not thread-safe: a registry is filled and emitted at serial points
+ * (end of doCycle on the driver thread, end of run on the harness
+ * thread), never from kernels.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace vibe {
+
+class MetricsRegistry
+{
+  public:
+    /** Set a gauge (overwrites). */
+    void set(std::string_view name, double value)
+    {
+        values_[std::string(name)] = value;
+    }
+
+    /** Bump a counter (creates at delta). */
+    void add(std::string_view name, double delta)
+    {
+        values_[std::string(name)] += delta;
+    }
+
+    /** Current value (0 if never set). */
+    double get(std::string_view name) const
+    {
+        auto it = values_.find(std::string(name));
+        return it != values_.end() ? it->second : 0.0;
+    }
+
+    bool has(std::string_view name) const
+    {
+        return values_.count(std::string(name)) > 0;
+    }
+
+    void clear() { values_.clear(); }
+    std::size_t size() const { return values_.size(); }
+
+    /** Name -> value, lexicographic (the JSONL field order). */
+    const std::map<std::string, double>& values() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace vibe

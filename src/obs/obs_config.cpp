@@ -1,0 +1,53 @@
+/**
+ * @file obs_config.cpp
+ * ObsConfig readers (deck + environment) and build identity.
+ */
+#include "obs/obs_config.hpp"
+
+#include <cstdlib>
+
+#include "util/parameter_input.hpp"
+
+namespace vibe {
+
+namespace {
+
+std::string
+envString(const char* name)
+{
+    const char* value = std::getenv(name);
+    return value ? std::string(value) : std::string();
+}
+
+} // namespace
+
+ObsConfig
+ObsConfig::fromParams(const ParameterInput& pin)
+{
+    ObsConfig config = fromEnv();
+    config.tracePath = pin.getString("obs", "trace", config.tracePath);
+    config.metricsPath =
+        pin.getString("obs", "metrics", config.metricsPath);
+    return config;
+}
+
+ObsConfig
+ObsConfig::fromEnv()
+{
+    ObsConfig config;
+    config.tracePath = envString("VIBE_TRACE");
+    config.metricsPath = envString("VIBE_METRICS");
+    return config;
+}
+
+const char*
+buildDescribe()
+{
+#ifdef VIBE_GIT_DESCRIBE
+    return VIBE_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace vibe

@@ -47,6 +47,7 @@ knownKnobs()
           "checkpoint_path", "checkpoint_async"}},
         {"comm", {"randomize_buffer_keys"}},
         {"job", {"package"}},
+        {"obs", {"trace", "metrics"}},
         {"burgers",
          {"num_scalars", "cfl", "recon", "refine_tol", "derefine_tol",
           "ic"}},

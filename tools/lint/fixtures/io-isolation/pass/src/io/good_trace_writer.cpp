@@ -1,0 +1,12 @@
+// Fixture: the Chrome-trace exporter lives under src/io/ — recorders
+// in other layers hand it drained events and never touch a stream.
+#include <fstream>
+
+void writeChromeTrace(const char* path, const Events& events)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"traceEvents\":[";
+    for (const Event& event : events)
+        out << event.json() << ",";
+    out << "]}";
+}

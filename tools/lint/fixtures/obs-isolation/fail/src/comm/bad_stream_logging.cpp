@@ -1,0 +1,9 @@
+// Fixture: stream logging inside the exchange poll loop — a stderr
+// write per probe retry, serialized across every pool worker.
+#include <iostream>
+
+void pollOnce(Exchange& exchange)
+{
+    if (!exchange.tryReceive())
+        std::cerr << "probe miss on " << exchange.channel() << "\n";
+}

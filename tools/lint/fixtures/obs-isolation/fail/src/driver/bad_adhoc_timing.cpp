@@ -1,0 +1,12 @@
+// Fixture: ad-hoc wall-clock instrumentation on a driver hot path —
+// invisible to the trace timeline and paid even with tracing off.
+#include <chrono>
+
+void stepAndLog(Driver& driver)
+{
+    const auto start = std::chrono::steady_clock::now();
+    driver.step();
+    driver.logSeconds(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+}

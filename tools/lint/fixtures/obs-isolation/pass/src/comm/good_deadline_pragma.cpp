@@ -1,0 +1,13 @@
+// Fixture: a peer-wait deadline is control flow, not instrumentation —
+// audited with a justified pragma.
+#include <chrono>
+
+void waitForPeer(Exchange& exchange)
+{
+    // vibe-lint: allow(obs-isolation) peer-wait deadline bounding the
+    // receive loop, not timing instrumentation.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (!exchange.tryReceive())
+        exchange.checkDeadline(deadline);
+}

@@ -1,0 +1,10 @@
+// Fixture: timing routed through the recorder — one relaxed atomic
+// load when tracing is off, a span on the timeline when on.
+#include "obs/trace.hpp"
+
+void step(Driver& driver)
+{
+    TraceSpan span("Step", TraceCat::Driver, driver.rank(),
+                   driver.cycle());
+    driver.step();
+}

@@ -198,6 +198,32 @@ RULES = [
         ),
     ),
     Rule(
+        name="obs-isolation",
+        scope=("src/driver/", "src/comm/", "src/pkg/", "src/solver/"),
+        exempt=("src/driver/task_list.cpp",),
+        pattern=(
+            r"std::chrono::\w+_clock\b|\bstd::cout\b|\bstd::cerr\b|"
+            r"\b(?:f|s)?printf\s*\("
+        ),
+        message=(
+            "no ad-hoc std::chrono timing or stream logging in "
+            "driver/comm/pkg/solver hot paths (record through "
+            "obs/trace.hpp spans or the MetricsRegistry; pragma "
+            "audited non-instrumentation clock uses)"
+        ),
+        rationale=(
+            "Timing that bypasses the TraceRecorder is invisible to "
+            "the timeline and the idle attribution, and a clock read "
+            "or stream write on a task path costs even when "
+            "observability is off - the recorder's contract is one "
+            "relaxed atomic load per disabled site. Clock reads that "
+            "are not instrumentation (peer-wait deadlines, the "
+            "measured-FOM wall clock) are the audited exceptions; "
+            "task_list.cpp is exempt because the executor IS the "
+            "timing source the spans reuse."
+        ),
+    ),
+    Rule(
         name="io-isolation",
         scope=("src/",),
         exempt=("src/io/",),

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""validate_trace: schema validator for the observability outputs.
+
+Validates the two artifacts the obs subsystem emits:
+
+  Chrome trace-event JSON (src/io/trace_writer.cpp):
+    - top-level {"traceEvents": [...]} with only X/i/C/M phases
+    - required per-phase fields (pid/tid/ts everywhere, dur on X,
+      s on i, args.name on M) with sane types and non-negative times
+    - file order sorted by (ts, tid) — the drain contract
+    - per (pid, tid) row, X spans properly nested: a span overlapping
+      its enclosing span's end would render as garbage in Perfetto and
+      indicates a torn RAII scope
+    - row sanity: every pid carries a process_name metadata record and
+      every (pid, tid) that records events a thread_name record
+
+  JSONL metrics (src/io/metrics_writer.cpp):
+    - every line a JSON object with a "type" field
+    - "cycle" records carry the heartbeat core (cycle, time, dt,
+      wall_seconds, nblocks) with monotonically increasing cycle
+    - at most one "footer", on the last line, with build identity
+
+Usage:
+  validate_trace.py TRACE.json [--metrics RUN.jsonl]
+  validate_trace.py --metrics RUN.jsonl
+  validate_trace.py --self-test       run the fixture suite
+
+Exit status: 0 valid, 1 findings (or fixture failures), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+METADATA_NAMES = {"process_name", "thread_name"}
+CYCLE_REQUIRED = ("cycle", "time", "dt", "wall_seconds", "nblocks")
+FOOTER_REQUIRED = ("git", "package")
+# Timestamps are doubles in microseconds; tolerate rounding at span
+# boundaries up to a tenth of a microsecond.
+TS_EPS = 0.1
+
+
+def _is_num(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_trace_obj(root):
+    """Validate a parsed Chrome trace object; returns error strings."""
+    errors = []
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        return ['top level must be an object with "traceEvents"']
+    events = root["traceEvents"]
+    if not isinstance(events, list):
+        return ['"traceEvents" must be a list']
+
+    named_processes = set()
+    named_threads = set()
+    seen_rows = set()
+    last_key = None
+    open_spans = {}  # (pid, tid) -> stack of (start, end, name)
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+            continue
+        pid = event.get("pid")
+        tid = event.get("tid")
+        if not isinstance(pid, int) or pid < 0:
+            errors.append(f"{where}: pid must be a non-negative int")
+            continue
+        if not isinstance(tid, int) or tid < 0:
+            errors.append(f"{where}: tid must be a non-negative int")
+            continue
+
+        if phase == "M":
+            if name not in METADATA_NAMES:
+                errors.append(f"{where}: unknown metadata {name!r}")
+            elif not isinstance(
+                event.get("args", {}).get("name"), str
+            ):
+                errors.append(f"{where}: metadata needs args.name")
+            elif name == "process_name":
+                named_processes.add(pid)
+            else:
+                named_threads.add((pid, tid))
+            continue
+
+        ts = event.get("ts")
+        if not _is_num(ts) or ts < 0:
+            errors.append(f"{where}: ts must be a non-negative number")
+            continue
+        key = (ts, tid)
+        if last_key is not None and key < last_key:
+            errors.append(
+                f"{where}: events not sorted by (ts, tid): "
+                f"{key} after {last_key}"
+            )
+        last_key = key
+        seen_rows.add((pid, tid))
+
+        if phase == "X":
+            dur = event.get("dur")
+            if not _is_num(dur) or dur < 0:
+                errors.append(
+                    f"{where}: span dur must be a non-negative number"
+                )
+                continue
+            stack = open_spans.setdefault((pid, tid), [])
+            while stack and ts >= stack[-1][1] - TS_EPS:
+                stack.pop()
+            if stack and ts + dur > stack[-1][1] + TS_EPS:
+                errors.append(
+                    f"{where}: span {name!r} [{ts}, {ts + dur}] "
+                    f"overlaps enclosing {stack[-1][2]!r} ending at "
+                    f"{stack[-1][1]} on row (pid={pid}, tid={tid})"
+                )
+                continue
+            stack.append((ts, ts + dur, name))
+        elif phase == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                errors.append(f"{where}: instant needs scope s")
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not any(
+                _is_num(v) for v in args.values()
+            ):
+                errors.append(
+                    f"{where}: counter needs numeric args values"
+                )
+
+    for pid, tid in sorted(seen_rows):
+        if pid not in named_processes:
+            errors.append(f"pid {pid} has events but no process_name")
+        if (pid, tid) not in named_threads:
+            errors.append(
+                f"row (pid={pid}, tid={tid}) has events but no "
+                "thread_name"
+            )
+    return errors
+
+
+def validate_metrics_text(text):
+    """Validate JSONL metrics content; returns error strings."""
+    errors = []
+    footer_line = None
+    last_cycle = None
+    lines = [line for line in text.splitlines() if line.strip()]
+    for number, line in enumerate(lines, start=1):
+        where = f"line {number}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"{where}: not valid JSON ({error})")
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            errors.append(f"{where}: record must have a type field")
+            continue
+        kind = record["type"]
+        if kind == "cycle":
+            missing = [k for k in CYCLE_REQUIRED if k not in record]
+            if missing:
+                errors.append(
+                    f"{where}: cycle record missing {missing}"
+                )
+                continue
+            cycle = record["cycle"]
+            if last_cycle is not None and cycle <= last_cycle:
+                errors.append(
+                    f"{where}: cycle {cycle} not increasing "
+                    f"(previous {last_cycle})"
+                )
+            last_cycle = cycle
+        elif kind == "footer":
+            if footer_line is not None:
+                errors.append(f"{where}: second footer record")
+            footer_line = number
+            missing = [k for k in FOOTER_REQUIRED if k not in record]
+            if missing:
+                errors.append(
+                    f"{where}: footer record missing {missing}"
+                )
+        else:
+            errors.append(f"{where}: unknown record type {kind!r}")
+    if footer_line is not None and footer_line != len(lines):
+        errors.append(
+            f"footer on line {footer_line} is not the last record"
+        )
+    return errors
+
+
+def validate_trace_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            root = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: cannot parse ({error})"]
+    return [f"{path}: {e}" for e in validate_trace_obj(root)]
+
+
+def validate_metrics_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: cannot read ({error})"]
+    return [f"{path}: {e}" for e in validate_metrics_text(text)]
+
+
+def self_test(fixtures_root):
+    """pass/ fixtures must validate clean, fail/ must produce errors."""
+    failures = []
+    checked = 0
+    for kind, validate in (
+        ("trace", validate_trace_file),
+        ("metrics", validate_metrics_file),
+    ):
+        for expected in ("pass", "fail"):
+            base = os.path.join(fixtures_root, kind, expected)
+            if not os.path.isdir(base):
+                failures.append(f"missing fixture directory {base}")
+                continue
+            names = sorted(os.listdir(base))
+            if not names:
+                failures.append(f"empty fixture directory {base}")
+            for name in names:
+                errors = validate(os.path.join(base, name))
+                checked += 1
+                if expected == "pass" and errors:
+                    failures.append(
+                        f"{kind}/pass/{name} produced errors: {errors}"
+                    )
+                if expected == "fail" and not errors:
+                    failures.append(
+                        f"{kind}/fail/{name} validated clean"
+                    )
+    for failure in failures:
+        print(f"self-test FAIL: {failure}")
+    if not failures:
+        print(f"self-test OK: {checked} fixtures validated")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", default=None)
+    parser.add_argument("--metrics", default=None)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return self_test(os.path.join(here, "fixtures"))
+    if not args.trace and not args.metrics:
+        parser.error("need a trace file, --metrics, or --self-test")
+
+    errors = []
+    if args.trace:
+        errors.extend(validate_trace_file(args.trace))
+    if args.metrics:
+        errors.extend(validate_metrics_file(args.metrics))
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"validate_trace: {len(errors)} finding(s)")
+        return 1
+    print("validate_trace: valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
