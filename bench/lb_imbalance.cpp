@@ -1,0 +1,239 @@
+/**
+ * @file lb_imbalance.cpp
+ * Measured-cost load balancing on a workload with real per-block cost
+ * imbalance: the stiff reaction package advects a hotspot whose cells
+ * iterate the equilibrium solve to convergence while floor cells pay
+ * 1-2 iterations (the bench deck steepens stiffness to 6.5, ~1600
+ * iterations across the blob plateau), so blocks covering the feature
+ * cost several times their neighbors — invisible to the uniform
+ * (cells-per-block) cost model.
+ *
+ * The bench runs the identical workload under `lb_cost = uniform` and
+ * `lb_cost = measured` (EMA-smoothed per-task wall clocks, with the
+ * hysteresis trigger bounding steady-state migrations) and reports
+ * measured zone-cycles/s, idle fraction, the late-run max/mean
+ * rank-cost imbalance, and how many blocks actually moved. Mesh state
+ * is bitwise identical between the two modes
+ * (tests/test_load_balance_cost.cpp); the difference is pure wall
+ * clock.
+ *
+ * Default: a quick 2-rank smoke (CI). `--measured` runs the full
+ * 2/4-rank sweep on a larger mesh; `--json <path>` emits the points
+ * for trajectory tracking.
+ */
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vibe;
+using namespace vibe::bench;
+
+/** Migration/decision tallies folded out of the cycle history. */
+struct LbTallies
+{
+    int totalMoves = 0;  ///< Blocks re-homed over the whole run.
+    int lateMoves = 0;   ///< Re-homed in the second half (steady state).
+    int skips = 0;       ///< Proposals rejected by hysteresis.
+    double lateImbalance = 0; ///< Mean max/mean imbalance, second half.
+};
+
+/**
+ * Idle share of the team's capacity over the task-graph windows:
+ * 1 - busy / (max-rank wall x ranks x threads). Unlike the in-graph
+ * idle fraction this charges the early finishers' wait for the
+ * straggler (they spin in the next collective, outside their own
+ * graphs) — the signal cost-based balancing actually moves.
+ */
+double
+stragglerIdle(const ExperimentResult& result)
+{
+    double wall = 0;
+    double busy = 0;
+    for (const CycleStats& c : result.history) {
+        wall += c.taskWallSeconds;
+        busy += c.busySeconds;
+    }
+    const double capacity = wall * result.spec.numRanks *
+                            result.spec.numThreads;
+    return capacity > 0 ? 1.0 - busy / capacity : 0.0;
+}
+
+LbTallies
+tally(const std::vector<CycleStats>& history)
+{
+    LbTallies t;
+    const std::size_t half = history.size() / 2;
+    std::size_t late_samples = 0;
+    for (std::size_t c = 0; c < history.size(); ++c) {
+        t.totalMoves += history[c].movedBlocks;
+        if (history[c].lbDecision == 2)
+            ++t.skips;
+        if (c >= half) {
+            t.lateMoves += history[c].movedBlocks;
+            if (history[c].lbImbalance > 0) {
+                t.lateImbalance += history[c].lbImbalance;
+                ++late_samples;
+            }
+        }
+    }
+    if (late_samples > 0)
+        t.lateImbalance /= static_cast<double>(late_samples);
+    return t;
+}
+
+ExperimentResult
+runPoint(int mesh, int ncycles, int ranks, const std::string& cost,
+         double trigger)
+{
+    ExperimentSpec spec;
+    spec.meshSize = mesh;
+    spec.blockSize = 8;
+    // Uniform mesh, deliberately: with AMR the refinement clusters
+    // blocks around the hotspot, so cells-per-block partitioning is
+    // accidentally half-decent (refinement is itself a cost proxy).
+    // On a uniform mesh the cell count is flat and the stiff-source
+    // imbalance is invisible to the uniform model — the isolated
+    // signal this bench exists to measure.
+    spec.amrLevels = 1;
+    spec.ncycles = ncycles;
+    spec.numeric = true;
+    spec.package = "reaction";
+    spec.numRanks = ranks;
+    spec.numThreads = 1;
+    spec.lbCost = cost;
+    spec.lbImbalanceTrigger = trigger;
+    // Steepen the equilibrium map well past the package default
+    // (stiffness 3 ~ 100 iterations at the blob plateau): at 6.5 the
+    // plateau burns ~1600 iterations per cell while floor cells still
+    // pay 1-2, making the stiff source the first-order share of step
+    // time and the hot-octant imbalance several tens of percent — the
+    // regime measured-cost balancing exists for. (6.8 no longer
+    // contracts at the peak; the iteration cap bounds cells a limiter
+    // overshoot pushes past it.)
+    spec.packageParams = {{"reaction", "stiffness", "6.5"},
+                          {"reaction", "max_iters", "2000"}};
+    return Experiment(spec).run();
+}
+
+int
+runBench(int mesh, int ncycles, const std::vector<int>& rank_points,
+         int reps, const std::string& json_path)
+{
+    banner("LB imbalance",
+           "Measured-cost load balancing vs uniform on the stiff "
+           "reaction hotspot");
+
+    // Below the genuine rebalance signal, above the jitter floor: on
+    // this workload picking up the initially unbalanced hot octant
+    // projects a max/mean improvement of several tenths, while the
+    // EMA-damped timer wobble proposes marginal (<0.1) reshuffles
+    // every few cycles. 0.2 adopts the former and rejects the latter.
+    const double trigger = 0.2;
+
+    JsonReport report("lb_imbalance");
+    Table table("Reaction hotspot, " + std::to_string(mesh) +
+                "^3 uniform mesh, B8, " + std::to_string(ncycles) +
+                " cycles, hysteresis trigger " +
+                formatFixed(trigger, 2));
+    table.setHeader({"ranks", "lb_cost", "zone-cyc/s", "vs uniform",
+                     "strag idle %", "late imb", "moved", "late moved",
+                     "lb skips", "migrated KB"});
+
+    // Rank threads run concurrently: a point that oversubscribes the
+    // physical cores measures scheduler timeslicing, not balance (the
+    // per-task clocks feeding the cost model get preemption noise and
+    // the straggler structure is destroyed). Skip those points loudly
+    // rather than report garbage.
+    const unsigned cores = std::thread::hardware_concurrency();
+    for (int ranks : rank_points) {
+        if (cores > 0 && static_cast<unsigned>(ranks) > cores) {
+            table.addNote("skipped " + std::to_string(ranks) +
+                          "-rank points: only " + std::to_string(cores) +
+                          " hardware threads (oversubscribed ranks "
+                          "measure preemption, not balance)");
+            continue;
+        }
+        // Wall clock is the measurement and the machine's speed drifts
+        // on minute scales, so interleave the modes rep by rep — each
+        // pair samples the same machine epoch — and keep each mode's
+        // best (the rep least perturbed by scheduler noise; mesh state
+        // is identical across reps, only the wall varies).
+        const std::vector<std::string> costs{"uniform", "measured"};
+        std::vector<ExperimentResult> best(costs.size());
+        for (int rep = 0; rep < reps; ++rep)
+            for (std::size_t m = 0; m < costs.size(); ++m) {
+                ExperimentResult result =
+                    runPoint(mesh, ncycles, ranks, costs[m], trigger);
+                if (rep == 0 ||
+                    result.wallSeconds < best[m].wallSeconds)
+                    best[m] = std::move(result);
+            }
+        double uniform_fom = 0.0;
+        for (std::size_t m = 0; m < costs.size(); ++m) {
+            const std::string& cost = costs[m];
+            const ExperimentResult& result = best[m];
+            const LbTallies t = tally(result.history);
+            if (cost == "uniform")
+                uniform_fom = result.measuredFom();
+            table.addRow(
+                {std::to_string(ranks), cost,
+                 formatSci(result.measuredFom(), 2),
+                 cost == "measured" && uniform_fom > 0
+                     ? formatRatio(result.measuredFom() / uniform_fom)
+                     : "1.00x",
+                 formatFixed(100.0 * stragglerIdle(result), 1),
+                 formatFixed(t.lateImbalance, 2),
+                 std::to_string(t.totalMoves),
+                 std::to_string(t.lateMoves), std::to_string(t.skips),
+                 formatFixed(result.migratedStorageBytes / 1.0e3, 1)});
+            const std::vector<std::pair<std::string, std::string>> cfg{
+                {"ranks", std::to_string(ranks)},
+                {"lb_cost", cost},
+                {"mesh", std::to_string(mesh)}};
+            report.add("lb_wall_seconds", cfg, result.wallSeconds);
+            report.add("lb_straggler_idle_fraction", cfg,
+                       stragglerIdle(result));
+            report.add("lb_graph_idle_fraction", cfg,
+                       result.idle.idleFraction());
+            report.add("lb_late_imbalance", cfg, t.lateImbalance);
+            report.add("lb_late_moved_blocks", cfg,
+                       static_cast<double>(t.lateMoves));
+        }
+    }
+    table.addNote("state is bitwise identical across cost modes "
+                  "(tests/test_load_balance_cost.cpp); measured should "
+                  "win FOM and straggler idle once per-block cost "
+                  "contrast exceeds the partition granularity");
+    table.addNote("'late moved' bounds steady-state migration churn: "
+                  "the hysteresis trigger rejects repartitions whose "
+                  "projected max/mean improvement is below " +
+                  formatFixed(trigger, 2));
+    table.print(std::cout);
+
+    report.write(json_path);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string json_path = extractJsonPath(argc, argv);
+    const bool measured = extractFlag(argc, argv, "--measured");
+    if (measured) {
+        // Full sweep: enough blocks (64 base + refinement) and cycles
+        // for the EMA to settle and the hotspot to cross partitions.
+        const int mesh = argc > 1 ? std::atoi(argv[1]) : 32;
+        const int cycles = argc > 2 ? std::atoi(argv[2]) : 16;
+        return runBench(mesh, cycles, {2, 4}, /*reps=*/5, json_path);
+    }
+    // CI smoke: one 2-rank point on a small mesh, single rep.
+    return runBench(16, 6, {2}, /*reps=*/1, json_path);
+}

@@ -268,6 +268,71 @@ runMeasured(int mesh, int block, const std::string& json_path)
     rec.print(std::cout);
     std::remove(ckpt_path.c_str());
 
+    // Measured-cost load balancing on the stiff reaction workload,
+    // where per-block cost varies several-fold while the uniform model
+    // sees identical blocks. bench/lb_imbalance is the full study;
+    // this is the one-glance summary at 2 ranks.
+    Table lb("\nLoad-balance cost model: uniform vs measured "
+             "(reaction hotspot, " +
+             std::to_string(mesh) + "^3 uniform mesh, B8, 2 ranks)");
+    lb.setHeader({"lb_cost", "zone-cyc/s", "vs uniform",
+                  "strag idle %", "moved blocks"});
+    {
+        double uniform_fom = 0.0;
+        for (const std::string cost : {"uniform", "measured"}) {
+            ExperimentSpec spec;
+            spec.meshSize = mesh;
+            spec.blockSize = 8;
+            // Same deck as bench/lb_imbalance: uniform mesh (AMR
+            // refinement is itself a cost proxy that would mask the
+            // signal) and a steepened equilibrium map so the stiff
+            // source is a first-order share of step time.
+            spec.amrLevels = 1;
+            spec.ncycles = 8;
+            spec.numeric = true;
+            spec.package = "reaction";
+            spec.numRanks = 2;
+            spec.numThreads = 1;
+            spec.lbCost = cost;
+            spec.lbImbalanceTrigger = 0.2;
+            spec.packageParams = {{"reaction", "stiffness", "6.5"},
+                                  {"reaction", "max_iters", "2000"}};
+            const ExperimentResult result = Experiment(spec).run();
+            if (cost == "uniform")
+                uniform_fom = result.measuredFom();
+            int moved = 0;
+            double graph_wall = 0;
+            double busy = 0;
+            for (const CycleStats& c : result.history) {
+                moved += c.movedBlocks;
+                graph_wall += c.taskWallSeconds;
+                busy += c.busySeconds;
+            }
+            // Straggler idle: busy vs the team capacity over the
+            // slowest rank's graph windows (bench/lb_imbalance has
+            // the full definition and study).
+            const double capacity = graph_wall * 2;
+            const double strag_idle =
+                capacity > 0 ? 1.0 - busy / capacity : 0.0;
+            lb.addRow({cost, formatSci(result.measuredFom(), 2),
+                       cost == "measured" && uniform_fom > 0
+                           ? formatRatio(result.measuredFom() /
+                                         uniform_fom)
+                           : "1.00x",
+                       formatFixed(100.0 * strag_idle, 1),
+                       std::to_string(moved)});
+            const std::vector<std::pair<std::string, std::string>> cfg{
+                {"lb_cost", cost}, {"mesh", std::to_string(mesh)}};
+            report.add("lb_cost_wall_seconds", cfg,
+                       result.wallSeconds);
+            report.add("lb_cost_idle_fraction", cfg,
+                       result.idle.idleFraction());
+        }
+    }
+    lb.addNote("state is bitwise identical across cost modes "
+               "(tests/test_load_balance_cost.cpp)");
+    lb.print(std::cout);
+
     report.write(json_path);
     return 0;
 }

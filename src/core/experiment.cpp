@@ -239,6 +239,8 @@ Experiment::runAttempt(FaultInjector* injector,
     ParameterInput package_params;
     package_params.set("burgers", "num_scalars",
                        std::to_string(spec.numScalars));
+    for (const auto& param : spec.packageParams)
+        package_params.set(param[0], param[1], param[2]);
     std::unique_ptr<PackageDescriptor> package =
         PackageRegistry::instance().create(spec.package, package_params);
     VariableRegistry registry = package->buildRegistry();
@@ -262,6 +264,10 @@ Experiment::runAttempt(FaultInjector* injector,
     driver_config.checkpointEvery = spec.checkpointEvery;
     driver_config.checkpointPath = spec.checkpointPath;
     driver_config.checkpointAsync = spec.checkpointAsync;
+    driver_config.lbCost = spec.lbCost.empty()
+                               ? envLbCostMode(LbCostMode::Uniform)
+                               : lbCostModeFromName(spec.lbCost);
+    driver_config.lbImbalanceTrigger = spec.lbImbalanceTrigger;
 
     if (spec.numRanks > 1) {
         // Rank-sharded measured path: one driver per rank on its own

@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -71,6 +72,25 @@ struct ExperimentSpec
      * benches sweep both to isolate the coalescing win.
      */
     bool fusedBoundaries = true;
+    /**
+     * Per-block cost source for load balancing (the `amr/lb_cost`
+     * knob): "" defers to VIBE_LB_COST (default "uniform"); "measured"
+     * feeds EMA-smoothed per-block wall clocks into the partitioner.
+     */
+    std::string lbCost;
+    /**
+     * Partition hysteresis (the `amr/lb_imbalance_trigger` knob): only
+     * adopt a new assignment when the projected max/mean rank-cost
+     * imbalance improves by at least this much (0 = always adopt).
+     */
+    double lbImbalanceTrigger = 0.0;
+    /**
+     * Extra deck parameters handed to the package factory verbatim as
+     * {block, key, value} triples — the spec-level equivalent of
+     * writing them in an input deck (e.g. {"reaction", "stiffness",
+     * "6"} steepens the equilibrium solve for imbalance benches).
+     */
+    std::vector<std::array<std::string, 3>> packageParams;
 
     // Checkpoint / restart (numeric mode only).
     /** Capture a checkpoint every N cycles (0 = never). */

@@ -28,6 +28,13 @@ DriverConfig::fromParams(const ParameterInput& pin)
     config.derefineGap = pin.getInt("amr", "derefine_gap", 10);
     config.refineEvery = pin.getInt("amr", "refine_every", 1);
     config.lbEvery = pin.getInt("amr", "lb_every", 1);
+    // Deck knob wins; otherwise the VIBE_LB_COST environment fallback;
+    // otherwise the historical uniform weighting.
+    config.lbCost = lbCostModeFromName(pin.getString(
+        "amr", "lb_cost",
+        lbCostModeName(envLbCostMode(LbCostMode::Uniform))));
+    config.lbImbalanceTrigger =
+        pin.getReal("amr", "lb_imbalance_trigger", 0.0);
     config.randomizeBufferKeys =
         pin.getBool("comm", "randomize_buffer_keys", true);
     config.checkpointEvery =
@@ -101,7 +108,7 @@ EvolutionDriver::initialize()
         cache_.rebuild();
     }
 
-    loadBalance(*mesh_, *world_);
+    loadBalance(*mesh_, *world_, lbOptions());
     cache_.rebuild();
     exchange_.exchangeBounds();
     exchange_.applyPhysicalBoundaries();
@@ -205,6 +212,12 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
         // The derefine-gap policy depends on creation cycles, so they
         // must survive the restart for identical remesh decisions.
         block.setCreatedCycle(record.createdCycle);
+        // Warm-start the load balancer: v2 images carry the owner's
+        // last cost estimate, so the re-shard below partitions on
+        // learned costs instead of re-learning them. Pre-v2 records
+        // hold 0 and keep the block's uniform default.
+        if (record.cost > 0)
+            block.setCost(record.cost);
         if (!block.hasData())
             continue;
         require(record.state.size() == block.serializedStateCount(),
@@ -221,7 +234,7 @@ EvolutionDriver::initializeFromCheckpoint(const CheckpointImage& image)
     // greedy Z-prefix split depends only on the (replicated) Z-ordered
     // block list, so any rank count lands on its deterministic
     // decomposition and real storage migrates onto the new owners.
-    loadBalance(*mesh_, *world_);
+    loadBalance(*mesh_, *world_, lbOptions());
     cache_.rebuild();
     // No ghost exchange or fillDerived: the serialized state carries
     // ghosts and derived fields, so memory now matches the
@@ -248,6 +261,8 @@ EvolutionDriver::doCycle()
     cycle_busy_ = 0;
     cycle_idle_ = 0;
     cycle_critical_ = 0;
+    if (config_.lbCost == LbCostMode::Measured)
+        cost_model_.beginCycle();
 
     // Fault-injection point: before the cycle's first collective (the
     // dt allreduce), so when the armed rank dies its peers are already
@@ -310,6 +325,10 @@ EvolutionDriver::doCycle()
     stats.derefined = last_derefined_;
     stats.movedBlocks = last_moved_;
     stats.migratedStorageBytes = last_migrated_bytes_;
+    stats.lbDecision = last_lb_decision_;
+    stats.lbImbalance = last_lb_imbalance_;
+    stats.lbMaxRankCost = last_lb_max_cost_;
+    stats.lbMeanRankCost = last_lb_mean_cost_;
     stats.taskWallSeconds = cycle_task_wall_;
     stats.busySeconds = cycle_busy_;
     stats.idleSeconds = cycle_idle_;
@@ -350,11 +369,47 @@ EvolutionDriver::doCycle()
     }
 }
 
+namespace {
+
+/**
+ * Parse the ":<gid>" suffix per-block task names carry, or -1. Fused
+ * and pairwise tasks use non-numeric suffixes (":plan:bounds",
+ * ":r0>r1"), so requiring all digits after the last ':' is exact.
+ */
+int
+taskNameGid(const std::string& name)
+{
+    const std::size_t pos = name.rfind(':');
+    if (pos == std::string::npos || pos + 1 >= name.size())
+        return -1;
+    int gid = 0;
+    for (std::size_t i = pos + 1; i < name.size(); ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return -1;
+        gid = gid * 10 + (c - '0');
+    }
+    return gid;
+}
+
+} // namespace
+
 void
 EvolutionDriver::runGraph(TaskList& tl, const TaskExecOptions& options)
 {
     tl.setTrace(mesh_->collectiveRank(), cycle_);
     tl.execute(options);
+    // Measured-cost harvest: fold each per-block task's wall clock
+    // onto its block. Comm tasks are included — pack/unpack scale with
+    // a block's surface and belong to it; poll attempts are cheap
+    // probes that add noise the EMA smooths out.
+    if (config_.lbCost == LbCostMode::Measured)
+        tl.forEachTask([this](const std::string& name, TaskCategory,
+                              double seconds) {
+            const int gid = taskNameGid(name);
+            if (gid >= 0)
+                cost_model_.addSample(gid, seconds);
+        });
     const double wall = tl.lastExecuteSeconds();
     const double comm = tl.categorySeconds(TaskCategory::Comm);
     const double compute = tl.categorySeconds(TaskCategory::Compute);
@@ -382,6 +437,18 @@ EvolutionDriver::accountFused(double seconds)
     cycle_task_wall_ += seconds;
     cycle_busy_ += seconds * concurrency;
     cycle_critical_ += seconds;
+    // A fused launch yields no per-block clocks; spread its wall time
+    // evenly over the blocks it stepped so pack-mode measured costs
+    // stay well-defined (they degrade toward uniform, never to zero).
+    if (config_.lbCost == LbCostMode::Measured) {
+        const auto& owned = mesh_->ownedBlocks();
+        if (!owned.empty()) {
+            const double share =
+                seconds / static_cast<double>(owned.size());
+            for (const MeshBlock* block : owned)
+                cost_model_.addSample(block->gid(), share);
+        }
+    }
 }
 
 void
@@ -408,6 +475,10 @@ EvolutionDriver::emitHeartbeat(const CycleStats& stats,
     m.set("amr.derefined", static_cast<double>(stats.derefined));
     m.set("lb.moved_blocks", static_cast<double>(stats.movedBlocks));
     m.set("lb.migrated_bytes", stats.migratedStorageBytes);
+    m.set("lb.decision", static_cast<double>(stats.lbDecision));
+    m.set("lb.imbalance", stats.lbImbalance);
+    m.set("lb.max_rank_cost", stats.lbMaxRankCost);
+    m.set("lb.mean_rank_cost", stats.lbMeanRankCost);
     m.set("mass", stats.mass);
     m.set("checkpoint.seconds", stats.checkpointSeconds);
     m.set("task.wall_seconds", stats.taskWallSeconds);
@@ -980,10 +1051,25 @@ EvolutionDriver::loadBalancingAndAmr()
     last_derefined_ = 0;
     last_moved_ = 0;
     last_migrated_bytes_ = 0;
+    last_lb_decision_ = 0;
+    last_lb_imbalance_ = 0;
+    last_lb_max_cost_ = 0;
+    last_lb_mean_cost_ = 0;
 
     const bool do_amr = mesh_->config().amrLevels > 1 &&
                         config_.refineEvery > 0 &&
                         cycle_ % config_.refineEvery == 0;
+    const bool do_lb =
+        config_.lbEvery > 0 && cycle_ % config_.lbEvery == 0;
+
+    // Fold this cycle's measured samples into block costs BEFORE any
+    // restructure: samples are keyed by the gids the cycle stepped and
+    // applyTreeUpdate renumbers them. The apply is a collective, and
+    // cycle_/config_ are identical on every replica, so the team
+    // enters it symmetrically. Refined/derefined blocks then inherit
+    // the updated estimates through the mesh's cost split/sum.
+    if (config_.lbCost == LbCostMode::Measured && do_lb)
+        cost_model_.applyMeasuredCosts(*mesh_, *world_);
 
     BlockTree::UpdateResult update;
     if (do_amr) {
@@ -1005,10 +1091,14 @@ EvolutionDriver::loadBalancingAndAmr()
             last_derefined_ =
                 static_cast<int>(restructure.derefined.size());
         }
-        if (config_.lbEvery > 0 && cycle_ % config_.lbEvery == 0) {
-            auto lb = loadBalance(*mesh_, *world_);
+        if (do_lb) {
+            auto lb = loadBalance(*mesh_, *world_, lbOptions());
             last_moved_ = lb.movedBlocks;
             last_migrated_bytes_ = lb.migratedStorageBytes;
+            last_lb_decision_ = lb.adopted ? 1 : 2;
+            last_lb_imbalance_ = lb.imbalance();
+            last_lb_max_cost_ = lb.maxRankCost;
+            last_lb_mean_cost_ = lb.meanRankCost;
         }
         if (update.changed() || last_moved_ > 0) {
             // BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors.

@@ -20,6 +20,7 @@
 #include "comm/boundary_buffers.hpp"
 #include "comm/ghost_exchange.hpp"
 #include "comm/rank_world.hpp"
+#include "driver/block_cost_model.hpp"
 #include "driver/load_balance.hpp"
 #include "driver/tagger.hpp"
 #include "driver/task_list.hpp"
@@ -49,6 +50,20 @@ struct DriverConfig
     int refineEvery = 1;
     /** Load balance every N cycles (paper: 1). */
     int lbEvery = 1;
+    /**
+     * Per-block cost fed to the partitioner (`<amr> lb_cost`, env
+     * fallback VIBE_LB_COST): Uniform keeps the historical
+     * interiorCells() weighting; Measured folds each cycle's per-task
+     * wall clocks into an EMA per block, so spatially varying per-cell
+     * work (the reaction package) rebalances.
+     */
+    LbCostMode lbCost = LbCostMode::Uniform;
+    /**
+     * Minimum projected max/mean imbalance improvement required to
+     * adopt a partition that moves blocks (`<amr>
+     * lb_imbalance_trigger`, 0 = always adopt).
+     */
+    double lbImbalanceTrigger = 0.0;
     /** Shuffle boundary keys in the buffer cache (§VIII-A). */
     bool randomizeBufferKeys = true;
     /**
@@ -86,6 +101,16 @@ struct CycleStats
      * counterpart is LoadBalanceStats::movedBytes.
      */
     double migratedStorageBytes = 0;
+    /**
+     * Load-balance outcome this cycle: 0 = the partitioner did not
+     * run, 1 = partition adopted (possibly with zero moves), 2 =
+     * proposal rejected by hysteresis.
+     */
+    int lbDecision = 0;
+    /** max/mean rank-cost imbalance after this cycle's lb (0 = none). */
+    double lbImbalance = 0;
+    double lbMaxRankCost = 0;  ///< Heaviest rank's cost at last lb.
+    double lbMeanRankCost = 0; ///< Mean rank cost at last lb.
     /**
      * Boundary messages sent this cycle (bounds + flux corrections,
      * local and remote; block migration excluded) and their modeled
@@ -236,6 +261,14 @@ class EvolutionDriver
 
   private:
     void step();
+    /** Partitioner tuning from the driver config (every lb call). */
+    LoadBalanceOptions lbOptions() const
+    {
+        LoadBalanceOptions options;
+        options.imbalanceTrigger = config_.lbImbalanceTrigger;
+        options.costMode = config_.lbCost;
+        return options;
+    }
     /** Per-stage fused path: comm task graphs + pack launches. */
     void stepPacked(bool flux_correction);
     MeshBlockPack& ensurePack();
@@ -350,6 +383,10 @@ class EvolutionDriver
     int last_derefined_ = 0;
     int last_moved_ = 0;
     double last_migrated_bytes_ = 0;
+    int last_lb_decision_ = 0;
+    double last_lb_imbalance_ = 0;
+    double last_lb_max_cost_ = 0;
+    double last_lb_mean_cost_ = 0;
     std::int64_t zone_cycles_ = 0;
     std::int64_t comm_cells_ = 0;
     std::int64_t comm_faces_ = 0;
@@ -368,6 +405,12 @@ class EvolutionDriver
     CheckpointWriter* checkpoint_writer_ = nullptr;
     FaultInjector* fault_injector_ = nullptr;
     MetricsWriter* metrics_writer_ = nullptr;
+    /**
+     * Measured per-block cost accumulator (lb_cost = measured).
+     * Samples are harvested from every executed task graph and fused
+     * pack launch, keyed by the ":<gid>" task-name suffix.
+     */
+    BlockCostModel cost_model_;
     std::vector<CycleStats> history_;
 };
 

@@ -33,7 +33,8 @@ struct CostEntry
 } // namespace
 
 LoadBalanceStats
-loadBalance(Mesh& mesh, RankWorld& world)
+loadBalance(Mesh& mesh, RankWorld& world,
+            const LoadBalanceOptions& options)
 {
     const ExecContext& ctx = mesh.ctx();
     const int nranks = world.nranks();
@@ -52,10 +53,18 @@ loadBalance(Mesh& mesh, RankWorld& world)
     // the sharded path this is a real rendezvous — each rank
     // contributes its owned blocks' costs and receives the full map —
     // which also synchronizes the team before any storage moves.
+    // Uniform mode weighs blocks by interior cells (the historical
+    // §II-E estimate); measured mode gathers the EMA estimates the
+    // cost model folded onto the blocks.
+    const bool measured = options.costMode == LbCostMode::Measured;
     std::vector<CostEntry> local_costs;
     local_costs.reserve(mesh.ownedBlocks().size());
     for (const MeshBlock* block : mesh.ownedBlocks())
-        local_costs.push_back({block->gid(), block->cost()});
+        local_costs.push_back(
+            {block->gid(),
+             measured ? block->cost()
+                      : static_cast<double>(
+                            block->shape().interiorCells())});
     const std::vector<CostEntry> gathered = world.allGatherVec(
         my_rank, std::move(local_costs),
         static_cast<double>(sizeof(double)) *
@@ -68,6 +77,18 @@ loadBalance(Mesh& mesh, RankWorld& world)
     std::vector<double> cost_of(blocks.size(), 0.0);
     for (const CostEntry& entry : gathered)
         cost_of.at(static_cast<std::size_t>(entry.gid)) = entry.cost;
+
+    // Measured mode: sync every replica's block-cost metadata to the
+    // gathered values — non-owners carry stale estimates between
+    // gathers, and downstream consumers (refinement inheritance,
+    // checkpoint restore re-shards) expect one replicated cost map.
+    // Uniform mode leaves the metadata alone: the cost a block carries
+    // (inherited across remeshes, serialized through migration and
+    // checkpoints) must not be clobbered with cell counts just because
+    // this run ignores it.
+    if (measured)
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            blocks[b]->setCost(cost_of[b]);
 
     double total_cost = 0;
     for (double cost : cost_of)
@@ -94,7 +115,40 @@ loadBalance(Mesh& mesh, RankWorld& world)
             ++rank;
     }
 
+    // Price the proposal before moving any storage: per-rank cost
+    // under the proposed partition vs. the current assignment.
     std::vector<double> rank_cost(nranks, 0.0);
+    std::vector<double> cur_cost(nranks, 0.0);
+    bool any_move = false;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        rank_cost[new_rank[b]] += cost_of[b];
+        cur_cost.at(static_cast<std::size_t>(blocks[b]->rank())) +=
+            cost_of[b];
+        any_move = any_move || blocks[b]->rank() != new_rank[b];
+    }
+    const double mean_cost = total_cost / nranks;
+
+    // Hysteresis: with measured (jittery) costs the greedy split can
+    // flip a boundary block every few cycles; each flip ships real
+    // storage on the sharded path. Adopt only when the projected
+    // max/mean imbalance improvement clears the trigger. Inputs are
+    // gathered and ranks replicated, so every replica takes the same
+    // branch — no collective is needed for the decision itself.
+    if (any_move && options.imbalanceTrigger > 0) {
+        const double cur_max =
+            *std::max_element(cur_cost.begin(), cur_cost.end());
+        const double new_max =
+            *std::max_element(rank_cost.begin(), rank_cost.end());
+        const double improvement =
+            mean_cost > 0 ? (cur_max - new_max) / mean_cost : 0.0;
+        if (improvement < options.imbalanceTrigger) {
+            stats.adopted = false;
+            stats.maxRankCost = cur_max;
+            stats.meanRankCost = mean_cost;
+            return stats;
+        }
+    }
+
     const bool sharded = mesh.sharded();
 
     // Pass 1 — departures: a sharded replica serializes every block it
@@ -123,7 +177,6 @@ loadBalance(Mesh& mesh, RankWorld& world)
     std::vector<std::size_t> arrivals;
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         MeshBlock& block = *blocks[b];
-        rank_cost[new_rank[b]] += cost_of[b];
         if (block.rank() == new_rank[b])
             continue;
         ++stats.movedBlocks;
@@ -177,7 +230,7 @@ loadBalance(Mesh& mesh, RankWorld& world)
 
     stats.maxRankCost =
         *std::max_element(rank_cost.begin(), rank_cost.end());
-    stats.meanRankCost = total_cost / nranks;
+    stats.meanRankCost = mean_cost;
     return stats;
 }
 

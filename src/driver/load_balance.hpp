@@ -16,9 +16,32 @@
 #pragma once
 
 #include "comm/rank_world.hpp"
+#include "driver/block_cost_model.hpp"
 #include "mesh/mesh.hpp"
 
 namespace vibe {
+
+/** Tuning for one loadBalance() call. */
+struct LoadBalanceOptions
+{
+    /**
+     * Minimum projected improvement of the max/mean rank-cost
+     * imbalance factor required to adopt a partition that moves
+     * blocks (the `<amr> lb_imbalance_trigger` knob). 0 adopts every
+     * change — the historical behavior. With measured (jittery) costs
+     * a positive trigger keeps the SFC split from thrashing block
+     * storage through the mailbox migration path for marginal gains.
+     */
+    double imbalanceTrigger = 0.0;
+    /**
+     * Cost source (the `<amr> lb_cost` knob). Uniform weighs every
+     * block by its interior cell count — the historical behavior,
+     * independent of the cost metadata riding the blocks. Measured
+     * gathers the blocks' EMA-smoothed cost estimates and also syncs
+     * every replica's cost metadata to the gathered map.
+     */
+    LbCostMode costMode = LbCostMode::Uniform;
+};
 
 /** Outcome of one load-balancing pass. */
 struct LoadBalanceStats
@@ -36,6 +59,12 @@ struct LoadBalanceStats
     double migratedStorageBytes = 0;
     double maxRankCost = 0;   ///< Heaviest rank's total cost.
     double meanRankCost = 0;  ///< Average rank cost.
+    /**
+     * False when hysteresis rejected the proposed partition: nothing
+     * moved and maxRankCost/meanRankCost describe the *kept* current
+     * assignment (what the run actually pays), not the rejected one.
+     */
+    bool adopted = true;
 
     /** max/mean cost ratio; 1.0 is perfectly balanced. */
     double imbalance() const
@@ -50,8 +79,10 @@ struct LoadBalanceStats
  * on a sharded replica; accounted, on the classic path) and the
  * serial partitioning work is recorded. In a rank team every rank
  * calls this collectively: the cost gather is the synchronization
- * point and each replica computes the identical partition.
+ * point and each replica computes the identical partition (and, with
+ * hysteresis, the identical adopt/skip decision).
  */
-LoadBalanceStats loadBalance(Mesh& mesh, RankWorld& world);
+LoadBalanceStats loadBalance(Mesh& mesh, RankWorld& world,
+                             const LoadBalanceOptions& options = {});
 
 } // namespace vibe

@@ -171,6 +171,19 @@ class TaskList
      */
     double categorySeconds(TaskCategory category) const;
 
+    /**
+     * Visit every task's (name, category, measured seconds) after an
+     * execute(). Per-block graphs suffix task names with ":<gid>", so
+     * a visitor can re-attribute this graph's wall clocks to blocks
+     * (the measured-cost load balancer's input).
+     */
+    template <typename Fn>
+    void forEachTask(Fn&& fn) const
+    {
+        for (const Task& task : tasks_)
+            fn(task.name, task.category, task.seconds);
+    }
+
   private:
     struct Task
     {

@@ -159,12 +159,16 @@ captureCheckpoint(const Mesh& mesh, RankWorld& world,
     }
 
     // State lives only on the owning rank. Each rank frames its owned
-    // blocks as [gid, count, state...] in gid order and the frames are
-    // all-gathered; rank-order concatenation keeps every frame intact,
-    // so scattering them back by gid rebuilds the identical image on
-    // every participant regardless of the decomposition. On a classic
-    // (modeled) world the gather returns the local frames unchanged and
-    // ownedBlocks() is every block — same result, no rendezvous.
+    // blocks as [gid, count, cost, state...] in gid order and the
+    // frames are all-gathered; rank-order concatenation keeps every
+    // frame intact, so scattering them back by gid rebuilds the
+    // identical image on every participant regardless of the
+    // decomposition. The cost estimate travels here (not in the
+    // replicated metadata walk above) because only the owner's copy is
+    // guaranteed current — replicas sync at cost gathers, not every
+    // cycle. On a classic (modeled) world the gather returns the local
+    // frames unchanged and ownedBlocks() is every block — same result,
+    // no rendezvous.
     std::vector<double> local;
     for (const MeshBlock* block : mesh.ownedBlocks()) {
         require(block->hasData(), "checkpoint capture: owned block ",
@@ -172,6 +176,7 @@ captureCheckpoint(const Mesh& mesh, RankWorld& world,
         const std::vector<double> state = block->serializeState();
         local.push_back(static_cast<double>(block->gid()));
         local.push_back(static_cast<double>(state.size()));
+        local.push_back(block->cost());
         local.insert(local.end(), state.begin(), state.end());
     }
     const double bytes = static_cast<double>(local.size()) *
@@ -183,11 +188,12 @@ captureCheckpoint(const Mesh& mesh, RankWorld& world,
     std::size_t at = 0;
     std::size_t filled = 0;
     while (at < gathered.size()) {
-        require(at + 2 <= gathered.size(),
+        require(at + 3 <= gathered.size(),
                 "checkpoint capture: malformed gathered shard frame");
         const auto gid = static_cast<std::size_t>(gathered[at]);
         const auto count = static_cast<std::size_t>(gathered[at + 1]);
-        at += 2;
+        const double cost = gathered[at + 2];
+        at += 3;
         require(gid < image.blocks.size(),
                 "checkpoint capture: gathered gid ", gid,
                 " out of range (", image.blocks.size(), " blocks)");
@@ -196,6 +202,7 @@ captureCheckpoint(const Mesh& mesh, RankWorld& world,
                 " overruns the buffer");
         require(image.blocks[gid].state.empty(),
                 "checkpoint capture: duplicate state for gid ", gid);
+        image.blocks[gid].cost = cost;
         image.blocks[gid].state.assign(gathered.begin() + at,
                                        gathered.begin() + at + count);
         at += count;
@@ -237,6 +244,7 @@ encodeCheckpoint(const CheckpointImage& image)
             w.put<std::int64_t>(record.loc.lx2);
             w.put<std::int64_t>(record.loc.lx3);
             w.put<std::int64_t>(record.createdCycle);
+            w.put<double>(record.cost);
             w.put<std::uint64_t>(
                 static_cast<std::uint64_t>(record.state.size()));
             w.putBytes(record.state.data(),
@@ -330,6 +338,7 @@ decodeCheckpoint(const std::vector<std::uint8_t>& bytes,
         record.loc.lx2 = r.get<std::int64_t>("block lx2");
         record.loc.lx3 = r.get<std::int64_t>("block lx3");
         record.createdCycle = r.get<std::int64_t>("block createdCycle");
+        record.cost = r.get<double>("block cost");
         const auto count = r.get<std::uint64_t>("block state count");
         record.state.resize(count);
         r.getBytes(record.state.data(), count * sizeof(double),

@@ -69,6 +69,15 @@ struct CheckpointBlockRecord
 {
     LogicalLocation loc;
     std::int64_t createdCycle = 0;
+    /**
+     * Load-balance cost estimate (format v2+). Travels in the owner's
+     * gathered frame — replicas may hold estimates that are stale
+     * between cost gathers, and only the owner's is current — so a
+     * restored run resumes with warm measured costs instead of
+     * re-learning them. 0 in images written before v2; restore keeps
+     * the block's default then.
+     */
+    double cost = 0;
     /** MeshBlock::serializeState payload (cons + derived, ghosts). */
     std::vector<double> state;
 };
@@ -93,8 +102,11 @@ struct CheckpointImage
     std::vector<CheckpointBlockRecord> blocks;
 };
 
-/** Checkpoint file format version this build writes and accepts. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/**
+ * Checkpoint file format version this build writes and accepts.
+ * v2 added the per-block load-balance cost to each block record.
+ */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /**
  * Capture the current experiment state as a collective: every rank

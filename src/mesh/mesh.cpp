@@ -293,11 +293,16 @@ Mesh::applyTreeUpdate(const BlockTree::UpdateResult& update,
         // Children exist in the tree already; create their blocks.
         const int o2max = config_.ndim >= 2 ? 1 : 0;
         const int o3max = config_.ndim >= 3 ? 1 : 0;
+        const int nchildren = 2 * (o2max + 1) * (o3max + 1);
         for (int o3 = 0; o3 <= o3max; ++o3)
             for (int o2 = 0; o2 <= o2max; ++o2)
                 for (int o1 = 0; o1 <= 1; ++o1) {
                     auto child = makeBlock(parent_loc.child(o1, o2, o3));
                     child->setRank(entry.parent->rank());
+                    // Split the parent's (possibly measured) cost
+                    // evenly so the estimate survives remesh instead
+                    // of resetting to the uniform default.
+                    child->setCost(entry.parent->cost() / nchildren);
                     child->setCreatedCycle(current_cycle);
                     realizeBlock(*child);
                     entry.children.push_back(child.get());
@@ -323,6 +328,12 @@ Mesh::applyTreeUpdate(const BlockTree::UpdateResult& update,
                 }
         auto parent = makeBlock(parent_loc);
         parent->setRank(entry.children.front()->rank());
+        // The merged block does all its children's work: sum their
+        // cost estimates rather than restarting from the default.
+        double children_cost = 0;
+        for (const auto& child : entry.children)
+            children_cost += child->cost();
+        parent->setCost(children_cost);
         parent->setCreatedCycle(current_cycle);
         realizeBlock(*parent);
         entry.parent = parent.get();

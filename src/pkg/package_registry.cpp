@@ -4,6 +4,7 @@
 
 #include "pkg/advection_package.hpp"
 #include "pkg/burgers_package.hpp"
+#include "pkg/reaction_package.hpp"
 #include "util/logging.hpp"
 
 namespace vibe {
@@ -24,6 +25,10 @@ PackageRegistry::instance()
         r.registerPackage("advection", [](const ParameterInput& pin) {
             return std::make_unique<AdvectionPackage>(
                 AdvectionConfig::fromParams(pin));
+        });
+        r.registerPackage("reaction", [](const ParameterInput& pin) {
+            return std::make_unique<ReactionPackage>(
+                ReactionConfig::fromParams(pin));
         });
         return r;
     }();

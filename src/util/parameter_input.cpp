@@ -38,7 +38,8 @@ knownKnobs()
           "x1max", "optimize_aux_memory", "use_memory_pool"}},
         {"meshblock", {"nx1", "nx2", "nx3"}},
         {"amr",
-         {"num_levels", "derefine_gap", "refine_every", "lb_every"}},
+         {"num_levels", "derefine_gap", "refine_every", "lb_every",
+          "lb_cost", "lb_imbalance_trigger"}},
         {"exec",
          {"num_threads", "pack_interior", "num_ranks",
           "fused_boundaries", "fail_rank", "fail_cycle"}},
@@ -54,6 +55,10 @@ knownKnobs()
         {"advection",
          {"vx", "vy", "vz", "cfl", "recon", "refine_tol",
           "derefine_tol", "ic"}},
+        {"reaction",
+         {"vx", "vy", "vz", "cfl", "recon", "refine_tol",
+          "derefine_tol", "rate", "stiffness", "stiff_tol",
+          "max_iters"}},
     };
     return table;
 }

@@ -69,6 +69,9 @@ shardDriverConfig(int lb_every = 1)
     config.ncycles = 8;
     config.derefineGap = 2;
     config.lbEvery = lb_every;
+    // Like the boundary path, the cost source sweeps with the CI
+    // matrix: mesh state must be bitwise identical either way.
+    config.lbCost = envLbCostMode(LbCostMode::Uniform);
     return config;
 }
 

@@ -218,11 +218,15 @@ TEST(Checkpoint, WritesAreDecompositionInvariant)
 {
     // The same cycle checkpointed at 1 and 2 ranks must produce
     // byte-identical files: state is gathered and reassembled by gid,
-    // independent of the shard layout.
+    // independent of the shard layout. Uniform costs only — measured
+    // costs are wall-clock samples that ride the checkpoint, so they
+    // are legitimately run- and decomposition-dependent bytes.
+    DriverConfig config = writeConfig();
+    config.lbCost = LbCostMode::Uniform;
     TempFile one("test_ckpt_1rank.bin");
     TempFile two("test_ckpt_2rank.bin");
-    writeTeamCheckpoint("advection", 1, writeConfig(), one.path);
-    writeTeamCheckpoint("advection", 2, writeConfig(), two.path);
+    writeTeamCheckpoint("advection", 1, config, one.path);
+    writeTeamCheckpoint("advection", 2, config, two.path);
     const auto bytes_one = readFileBytes(one.path);
     const auto bytes_two = readFileBytes(two.path);
     ASSERT_FALSE(bytes_one.empty());
@@ -231,11 +235,15 @@ TEST(Checkpoint, WritesAreDecompositionInvariant)
 
 TEST(Checkpoint, AsyncMatchesSyncBytes)
 {
+    // Uniform costs for the same reason as above: two separate runs
+    // cannot reproduce measured (wall-clock) cost bytes.
+    DriverConfig config = writeConfig();
+    config.lbCost = LbCostMode::Uniform;
     TempFile async_file("test_ckpt_async.bin");
     TempFile sync_file("test_ckpt_sync.bin");
-    writeTeamCheckpoint("advection", 1, writeConfig(), async_file.path,
+    writeTeamCheckpoint("advection", 1, config, async_file.path,
                         /*async=*/true);
-    writeTeamCheckpoint("advection", 1, writeConfig(), sync_file.path,
+    writeTeamCheckpoint("advection", 1, config, sync_file.path,
                         /*async=*/false);
     const auto bytes_async = readFileBytes(async_file.path);
     const auto bytes_sync = readFileBytes(sync_file.path);
@@ -299,7 +307,7 @@ TEST(Checkpoint, ReaderRejectsCorruptFiles)
     versioned[8] += 1; // little-endian low byte of the u32 version
     writeFileBytes(mutant.path, versioned);
     expectReadFails(mutant.path,
-                    {"unsupported version", "expected 1", "found 2"});
+                    {"unsupported version", "expected 2", "found 3"});
 }
 
 TEST(Checkpoint, ReaderNamesMissingFile)
